@@ -1,0 +1,90 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (see the
+per-experiment index in DESIGN.md) and records a paper-vs-measured
+comparison in ``benchmark.extra_info`` so it lands in the pytest-benchmark
+JSON and in bench_output.txt.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.domains.binpack import first_fit_problem
+from repro.domains.te import (
+    build_demand_set,
+    demand_pinning_problem,
+    fig1a_demand_pairs,
+    fig1a_topology,
+    fig4a_demand_pairs,
+)
+
+
+def comparison_row(label: str, paper: object, measured: object) -> str:
+    return f"{label:<42} paper={paper!s:<18} measured={measured!s}"
+
+
+#: pytest's capture manager, captured by the autouse fixture below so
+#: report() can emit its tables to the real stdout without ``-s``.
+_CAPTURE_MANAGER = None
+
+
+@pytest.fixture(autouse=True)
+def _expose_capture_manager(request):
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = request.config.pluginmanager.getplugin(
+        "capturemanager"
+    )
+    yield
+
+
+def report(benchmark, rows: list[str]) -> None:
+    """Attach paper-vs-measured rows to the benchmark and print them.
+
+    The print bypasses pytest's capture so the tables appear in
+    ``pytest benchmarks/ --benchmark-only | tee bench_output.txt``.
+    """
+    text = "\n".join(rows)
+    if benchmark is not None:
+        benchmark.extra_info["paper_vs_measured"] = text
+    if _CAPTURE_MANAGER is not None:
+        with _CAPTURE_MANAGER.global_and_fixture_disabled():
+            print("\n" + text)
+            sys.stdout.flush()
+    else:  # pragma: no cover - direct invocation outside pytest
+        print("\n" + text)
+
+
+@pytest.fixture(scope="session")
+def fig1a_demand_set():
+    return build_demand_set(
+        fig1a_topology(), fig1a_demand_pairs(), num_paths=2
+    )
+
+
+@pytest.fixture(scope="session")
+def fig4a_demand_set():
+    return build_demand_set(
+        fig1a_topology(), fig4a_demand_pairs(), num_paths=2
+    )
+
+
+@pytest.fixture(scope="session")
+def dp_problem(fig1a_demand_set):
+    return demand_pinning_problem(
+        fig1a_demand_set, threshold=50.0, d_max=100.0
+    )
+
+
+@pytest.fixture(scope="session")
+def dp_problem_fig4a(fig4a_demand_set):
+    return demand_pinning_problem(
+        fig4a_demand_set, threshold=50.0, d_max=100.0
+    )
+
+
+@pytest.fixture(scope="session")
+def ff_problem():
+    return first_fit_problem(num_balls=4, num_bins=3)

@@ -1,0 +1,63 @@
+"""T2SCALE: heatmap summarization at growing instance size (§5.3 open q.).
+
+Paper: "As the instance size grows, the above heatmap may become harder to
+interpret. We need mechanisms that allow us to summarize the information."
+
+We grow the VBP instance and measure raw heatmap rows vs grouped-summary
+rows: the summary stays near-constant while the raw heatmap grows
+quadratically (balls x bins).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import comparison_row, report
+from repro.domains.binpack import first_fit_problem
+from repro.explain import build_heatmap, compression_ratio, summarize_heatmap
+from repro.subspace import Box
+
+SIZES = [3, 5, 7]
+SAMPLES = 60
+
+
+def test_summary_compression(benchmark):
+    def run():
+        results = []
+        rng = np.random.default_rng(0)
+        for n in SIZES:
+            problem = first_fit_problem(num_balls=n, num_bins=n)
+            # A mid-size box where FF frequently diverges from OPT.
+            box = Box.from_arrays(
+                np.full(n, 0.3), np.full(n, 0.7)
+            )
+            heatmap = build_heatmap(problem, box, SAMPLES, rng)
+            summaries = summarize_heatmap(heatmap, problem.graph)
+            results.append(
+                (
+                    n,
+                    len(heatmap.used_edges()),
+                    len(summaries),
+                    compression_ratio(heatmap, summaries),
+                )
+            )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = ["T2SCALE - raw heatmap rows vs grouped summary rows"]
+    for n, raw, grouped, ratio in results:
+        rows.append(
+            f"  {n} balls: raw {raw:>4} rows -> summary {grouped:>2} rows "
+            f"(ratio {ratio:.2f})"
+        )
+    rows.append(
+        comparison_row("summary growth", "near-constant", [r[2] for r in results])
+    )
+    report(benchmark, rows)
+
+    raw_counts = [r[1] for r in results]
+    summary_counts = [r[2] for r in results]
+    # Raw grows with the instance; the summary stays flat (role pairs).
+    assert raw_counts[-1] > raw_counts[0]
+    assert summary_counts[-1] <= summary_counts[0] + 2
+    assert results[-1][3] < 0.25  # at least 4x compression at the top size

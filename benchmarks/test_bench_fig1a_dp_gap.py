@@ -1,0 +1,41 @@
+"""FIG1A: the Fig. 1a worked example.
+
+Paper: on the 5-node topology with threshold 50 and demands (1~>3: 50,
+1~>2: 100, 2~>3: 100), DP routes 150 total while OPT routes 250; DP pins
+1~>3 to 1-2-3, OPT sends it over 1-4-5-3.
+"""
+
+import pytest
+
+from benchmarks.conftest import comparison_row, report
+from repro.domains.te import solve_demand_pinning, solve_optimal_te
+
+FIG1A_DEMANDS = {"1->3": 50.0, "1->2": 100.0, "2->3": 100.0}
+
+
+def test_fig1a_table(benchmark, fig1a_demand_set):
+    def run():
+        opt = solve_optimal_te(fig1a_demand_set, FIG1A_DEMANDS)
+        dp = solve_demand_pinning(
+            fig1a_demand_set, FIG1A_DEMANDS, threshold=50.0
+        )
+        return opt, dp
+
+    opt, dp = benchmark(run)
+
+    rows = [
+        "FIG1A - Demand Pinning vs OPT on the paper's example",
+        comparison_row("Total DP", 150, dp.total_flow),
+        comparison_row("Total OPT", 250, opt.total_flow),
+        comparison_row("DP 1->3 path", "1-2-3 @ 50", f"1-2-3 @ {dp.flow_on_path('1->3', '1-2-3'):g}"),
+        comparison_row("OPT 1->3 path", "1-4-5-3 @ 50", f"1-4-5-3 @ {opt.flow_on_path('1->3', '1-4-5-3'):g}"),
+        comparison_row("DP 1->2 / 2->3", "50 / 50", f"{dp.routed_for('1->2'):g} / {dp.routed_for('2->3'):g}"),
+        comparison_row("OPT 1->2 / 2->3", "100 / 100", f"{opt.routed_for('1->2'):g} / {opt.routed_for('2->3'):g}"),
+    ]
+    report(benchmark, rows)
+
+    assert dp.total_flow == pytest.approx(150.0)
+    assert opt.total_flow == pytest.approx(250.0)
+    assert dp.pinned == frozenset({"1->3"})
+    assert dp.flow_on_path("1->3", "1-2-3") == pytest.approx(50.0)
+    assert opt.flow_on_path("1->3", "1-4-5-3") == pytest.approx(50.0)

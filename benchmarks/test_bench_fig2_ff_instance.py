@@ -1,0 +1,44 @@
+"""FIG2: the 17-ball First-Fit instance of Fig. 2.
+
+Paper: "Example adversarial instance for FF with equal-sized bins with size
+of 1; the optimal uses 8 bins and the heuristic 9."
+"""
+
+import pytest
+
+from benchmarks.conftest import comparison_row, report
+from repro.domains.binpack import (
+    VbpInstance,
+    best_fit,
+    fig2_sizes,
+    first_fit,
+    first_fit_decreasing,
+    lower_bound,
+    solve_optimal_packing,
+)
+
+
+def test_fig2_instance(benchmark):
+    instance = VbpInstance.one_dimensional(fig2_sizes(), num_bins=12)
+
+    def run():
+        return first_fit(instance), solve_optimal_packing(instance)
+
+    ff, opt = benchmark(run)
+
+    bf = best_fit(instance)
+    ffd = first_fit_decreasing(instance)
+    rows = [
+        "FIG2 - 17-ball adversarial instance (reconstructed from the figure)",
+        comparison_row("FF bins", 9, ff.bins_used),
+        comparison_row("OPT bins", 8, opt.bins_used),
+        comparison_row("volume lower bound", "<= OPT", lower_bound(instance)),
+        comparison_row("Best Fit bins (extra)", "-", bf.bins_used),
+        comparison_row("FFD bins (extra)", "-", ffd.bins_used),
+    ]
+    report(benchmark, rows)
+
+    assert ff.bins_used == 9
+    assert opt.bins_used == 8
+    assert ff.validate(instance)
+    assert lower_bound(instance) <= opt.bins_used

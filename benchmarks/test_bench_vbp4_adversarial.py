@@ -1,0 +1,40 @@
+"""VBP4: the §2 inline VBP example.
+
+Paper: "MetaOpt produces the adversarial ball sizes 1%, 49%, 51%, 51% ...
+for an example with 4 balls and 3 equal-sized bins — the optimal uses 2
+bins while FF uses 3."
+"""
+
+import pytest
+
+from benchmarks.conftest import comparison_row, report
+from repro.domains.binpack import (
+    VbpInstance,
+    first_fit,
+    solve_optimal_packing,
+    vbp4_adversarial_sizes,
+)
+
+
+def test_vbp4_paper_instance(benchmark):
+    instance = VbpInstance.one_dimensional(
+        vbp4_adversarial_sizes(), num_bins=3
+    )
+
+    def run():
+        return first_fit(instance), solve_optimal_packing(instance)
+
+    ff, opt = benchmark(run)
+
+    rows = [
+        "VBP4 - the paper's 4-ball adversarial instance (sizes 1/49/51/51%)",
+        comparison_row("FF bins", 3, ff.bins_used),
+        comparison_row("OPT bins", 2, opt.bins_used),
+        comparison_row("FF assignment", "[0, 0, 1, 2]", ff.assignment),
+    ]
+    report(benchmark, rows)
+
+    assert ff.bins_used == 3
+    assert opt.bins_used == 2
+    assert ff.validate(instance)
+    assert opt.validate(instance)

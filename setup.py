@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The offline build environment ships setuptools 65 without ``wheel``, so the
+PEP 660 editable path is unavailable; ``pip install -e . --no-use-pep517``
+falls back to ``setup.py develop`` through this shim. All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

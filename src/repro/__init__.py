@@ -1,0 +1,53 @@
+"""Reproduction of "Towards Safer Heuristics With XPlain" (HotNets 2024).
+
+The public API is organized the way Fig. 3 of the paper draws the system:
+
+* :mod:`repro.dsl` — the network-flow domain-specific language (§5.1);
+* :mod:`repro.compiler` — DSL -> optimization lowering, redundancy
+  elimination, and the Appendix-A MILP -> DSL encoder;
+* :mod:`repro.analyzer` — the MetaOpt-style heuristic analyzer substrate;
+* :mod:`repro.subspace` — the adversarial subspace generator and
+  significance checker (§5.2);
+* :mod:`repro.explain` — the Type-2 explainer (§5.3);
+* :mod:`repro.generalize` — the Type-3 generalizer and instance generator
+  (§5.4);
+* :mod:`repro.domains` — the paper's running examples (demand pinning,
+  vector bin packing) plus the scheduling extension;
+* :mod:`repro.core` — the end-to-end XPlain pipeline;
+* :mod:`repro.solver` — the LP/MILP substrate everything compiles to.
+
+Quickstart::
+
+    from repro import XPlain
+    from repro.domains.binpack import first_fit_problem
+
+    report = XPlain(first_fit_problem(num_balls=4, num_bins=3)).run()
+    print(report.summary())
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+_LAZY_EXPORTS = {
+    "XPlain": "repro.core.pipeline",
+    "XPlainConfig": "repro.core.config",
+    "XPlainReport": "repro.core.results",
+}
+
+__all__ = ["XPlain", "XPlainConfig", "XPlainReport", "__version__"]
+
+
+def __getattr__(name: str):
+    """Lazily import the top-level pipeline objects.
+
+    Keeps ``import repro.solver`` usable without pulling in the whole
+    pipeline (and its heavier dependencies) at import time.
+    """
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, name)

@@ -1,0 +1,150 @@
+"""Black-box adversarial search baselines.
+
+The paper states that "random search cannot find adversarial subspaces (it
+may not even find an adversarial point)" (§5.2). These searchers exist to
+(a) reproduce that ablation (benchmark RAND in DESIGN.md), and (b) analyze
+heuristics that have no exact MILP encoding yet.
+
+Strategies:
+
+* ``random``   — uniform sampling of the input box;
+* ``hillclimb``— random restarts + greedy coordinate perturbation;
+* ``anneal``   — simulated annealing with a geometric cooling schedule.
+
+All strategies respect exclusion boxes by rejecting points inside them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analyzer.interface import AdversarialExample, AnalyzedProblem
+from repro.exceptions import AnalyzerError
+from repro.subspace.region import Box
+
+
+@dataclass
+class BlackBoxAnalyzer:
+    """Gap maximization by sampling the gap oracle directly."""
+
+    problem: AnalyzedProblem
+    strategy: str = "hillclimb"
+    budget: int = 400
+    seed: int = 0
+    #: hill-climb/anneal step size as a fraction of each box side
+    step_fraction: float = 0.15
+    restarts: int = 4
+    initial_temperature: float = 1.0
+    cooling: float = 0.97
+    history: list[tuple[np.ndarray, float]] = field(default_factory=list)
+
+    def find_adversarial(
+        self,
+        excluded: list[Box] | None = None,
+        min_gap: float = 0.0,
+    ) -> AdversarialExample | None:
+        """Best input found within the budget, or None if gap <= min_gap."""
+        excluded = excluded or []
+        rng = np.random.default_rng(self.seed)
+        if self.strategy == "random":
+            best_x, best_gap = self._random_search(rng, excluded)
+        elif self.strategy == "hillclimb":
+            best_x, best_gap = self._hill_climb(rng, excluded)
+        elif self.strategy == "anneal":
+            best_x, best_gap = self._anneal(rng, excluded)
+        else:
+            raise AnalyzerError(f"unknown strategy {self.strategy!r}")
+        if best_x is None or best_gap <= min_gap:
+            return None
+        return AdversarialExample(
+            x=best_x,
+            predicted_gap=best_gap,
+            validated_gap=best_gap,
+            analyzer=f"blackbox:{self.strategy}",
+        )
+
+    # -- strategies ------------------------------------------------------------
+    def _admissible(self, x: np.ndarray, excluded: list[Box]) -> bool:
+        return not any(box.contains(x) for box in excluded)
+
+    def _evaluate(self, x: np.ndarray) -> float:
+        gap = self.problem.gap(x)
+        self.history.append((x.copy(), gap))
+        return gap
+
+    def _random_search(
+        self, rng: np.random.Generator, excluded: list[Box]
+    ) -> tuple[np.ndarray | None, float]:
+        box = self.problem.input_box
+        best_x, best_gap = None, -np.inf
+        spent = 0
+        while spent < self.budget:
+            x = box.sample(rng, 1)[0]
+            if not self._admissible(x, excluded):
+                continue
+            spent += 1
+            gap = self._evaluate(x)
+            if gap > best_gap:
+                best_x, best_gap = x, gap
+        return best_x, best_gap
+
+    def _hill_climb(
+        self, rng: np.random.Generator, excluded: list[Box]
+    ) -> tuple[np.ndarray | None, float]:
+        box = self.problem.input_box
+        steps = box.widths * self.step_fraction
+        per_restart = max(1, self.budget // max(1, self.restarts))
+        best_x, best_gap = None, -np.inf
+        for _ in range(self.restarts):
+            x = box.sample(rng, 1)[0]
+            if not self._admissible(x, excluded):
+                continue
+            gap = self._evaluate(x)
+            spent = 1
+            while spent < per_restart:
+                candidate = box.clip_point(
+                    x + rng.normal(0.0, steps, size=box.dim)
+                )
+                if not self._admissible(candidate, excluded):
+                    spent += 1
+                    continue
+                candidate_gap = self._evaluate(candidate)
+                spent += 1
+                if candidate_gap > gap:
+                    x, gap = candidate, candidate_gap
+            if gap > best_gap:
+                best_x, best_gap = x, gap
+        return best_x, best_gap
+
+    def _anneal(
+        self, rng: np.random.Generator, excluded: list[Box]
+    ) -> tuple[np.ndarray | None, float]:
+        box = self.problem.input_box
+        steps = box.widths * self.step_fraction
+        x = box.sample(rng, 1)[0]
+        tries = 0
+        while not self._admissible(x, excluded):
+            x = box.sample(rng, 1)[0]
+            tries += 1
+            if tries > 1000:
+                return None, -np.inf
+        gap = self._evaluate(x)
+        best_x, best_gap = x.copy(), gap
+        temperature = self.initial_temperature
+        for _ in range(self.budget - 1):
+            candidate = box.clip_point(x + rng.normal(0.0, steps, size=box.dim))
+            if not self._admissible(candidate, excluded):
+                temperature *= self.cooling
+                continue
+            candidate_gap = self._evaluate(candidate)
+            accept = candidate_gap >= gap or rng.random() < np.exp(
+                (candidate_gap - gap) / max(temperature, 1e-12)
+            )
+            if accept:
+                x, gap = candidate, candidate_gap
+                if gap > best_gap:
+                    best_x, best_gap = x.copy(), gap
+            temperature *= self.cooling
+        return best_x, best_gap

@@ -1,0 +1,81 @@
+"""Excluding already-found subspaces from the analyzer's search.
+
+Step (3) of §5.2: "exclude that subspace and repeat until we can no longer
+find an adversarial example outside all of the subspaces we have found so
+far". For the MILP analyzer, excluding an axis-aligned box is the classic
+big-M disjunction: a point is outside the box iff it violates at least one
+side, so one binary per face selects which side is violated.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import AnalyzerError
+from repro.solver.expr import Variable, VarType, quicksum
+from repro.solver.model import Model
+from repro.subspace.region import Box
+
+#: Separation margin: excluded points must clear the box by this much.
+DEFAULT_MARGIN = 1e-6
+
+
+def add_box_exclusion(
+    model: Model,
+    input_vars: list[Variable],
+    box: Box,
+    index: int,
+    margin: float = DEFAULT_MARGIN,
+) -> None:
+    """Require the input vector to lie outside ``box``.
+
+    For each dimension i two binaries mark "x_i below lo_i" and "x_i above
+    hi_i"; at least one must hold. Big-M values come from the variables'
+    own bounds, which the analyzer always sets to the input box.
+    """
+    if len(input_vars) != box.dim:
+        raise AnalyzerError(
+            f"exclusion box has dim {box.dim}, model has {len(input_vars)} inputs"
+        )
+    selectors = []
+    for i, var in enumerate(input_vars):
+        lo, hi = box.lo[i], box.hi[i]
+        var_lo, var_ub = var.lb, var.ub
+        if not (var_lo > -1e18 and var_ub < 1e18):
+            raise AnalyzerError(
+                f"input variable {var.name!r} needs finite bounds for exclusion"
+            )
+        # Below-side binary: active => x_i <= lo_i - margin.
+        below_gap = lo - margin - var_lo
+        if below_gap >= 0.0:
+            below = model.add_var(
+                f"excl{index}_below[{i}]", vartype=VarType.BINARY
+            )
+            big_m = var_ub - (lo - margin)
+            model.add_constraint(
+                var <= (lo - margin) + big_m * (1 - below),
+                name=f"excl{index}_lo[{i}]",
+            )
+            selectors.append(below)
+        # Above-side binary: active => x_i >= hi_i + margin.
+        above_gap = var_ub - (hi + margin)
+        if above_gap >= 0.0:
+            above = model.add_var(
+                f"excl{index}_above[{i}]", vartype=VarType.BINARY
+            )
+            big_m = (hi + margin) - var_lo
+            model.add_constraint(
+                var >= (hi + margin) - big_m * (1 - above),
+                name=f"excl{index}_hi[{i}]",
+            )
+            selectors.append(above)
+    if not selectors:
+        # The box covers the whole input space: nothing left to search.
+        raise ExclusionCoversSpace(
+            f"exclusion box {index} covers the entire input domain"
+        )
+    model.add_constraint(
+        quicksum(selectors) >= 1, name=f"excl{index}_any"
+    )
+
+
+class ExclusionCoversSpace(AnalyzerError):
+    """Raised when an exclusion box leaves no feasible input."""

@@ -1,0 +1,61 @@
+"""Gap-evaluation utilities shared by the pipeline stages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analyzer.interface import AnalyzedProblem
+from repro.subspace.region import Box, Region
+
+
+@dataclass
+class GapStatistics:
+    """Summary statistics of gaps over a sample set."""
+
+    count: int
+    mean: float
+    maximum: float
+    fraction_above: float
+    threshold: float
+
+    @staticmethod
+    def from_gaps(gaps: np.ndarray, threshold: float) -> "GapStatistics":
+        gaps = np.asarray(gaps, dtype=float)
+        if gaps.size == 0:
+            return GapStatistics(0, 0.0, 0.0, 0.0, threshold)
+        return GapStatistics(
+            count=int(gaps.size),
+            mean=float(gaps.mean()),
+            maximum=float(gaps.max()),
+            fraction_above=float((gaps > threshold).mean()),
+            threshold=threshold,
+        )
+
+
+def sample_gaps(
+    problem: AnalyzedProblem,
+    where: Box | Region,
+    count: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``count`` points in a box/region and evaluate their gaps.
+
+    Returns (points, gaps) with shapes (count, dim) and (count,).
+    """
+    points = where.sample(rng, count)
+    gaps = problem.gaps(points)
+    return points, gaps
+
+
+def relative_gap(gap: float, benchmark_value: float) -> float:
+    """Gap as a fraction of the benchmark value (the paper's "30%")."""
+    if abs(benchmark_value) < 1e-12:
+        return 0.0
+    return gap / abs(benchmark_value)
+
+
+def bad_sample_mask(gaps: np.ndarray, threshold: float) -> np.ndarray:
+    """Boolean mask of the "bad" (adversarial) samples of §5.2."""
+    return np.asarray(gaps, dtype=float) > threshold

@@ -1,0 +1,197 @@
+"""Lowering of DSL node behaviors to optimization constraints.
+
+Implements the constraint semantics of Appendix A.1, one emitter per node
+behavior. The lowering is intentionally *naive* — one constraint per rule,
+one variable per edge — because the redundancy it produces (alias chains
+from ALL-EQUAL and MULTIPLY nodes, fixed rows from constant-rate edges) is
+exactly what the presolve stage removes; the paper's 4.3x compile speedup
+comes from that division of labor.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.compiler.varmap import VarMap
+from repro.dsl.graph import FlowGraph
+from repro.dsl.nodes import InputSpec, Node, NodeKind
+from repro.exceptions import CompilerError
+from repro.solver.expr import LinExpr, VarType, quicksum
+from repro.solver.model import INF, Model
+
+
+def lower_graph(
+    graph: FlowGraph,
+    model: Model,
+    inputs: Mapping[str, float] | None = None,
+    prefix: str = "",
+) -> VarMap:
+    """Emit variables and constraints for ``graph`` into ``model``.
+
+    ``inputs`` optionally pins each adversarial input source to a concrete
+    value (the supply variable is still created, then fixed by bounds, so
+    the :class:`VarMap` shape is identical either way). ``prefix``
+    namespaces variable names so a heuristic and a benchmark graph can share
+    one model (the analyzer does this).
+
+    Returns the :class:`VarMap` tying graph elements to model variables.
+    """
+    graph.validate()
+    varmap = VarMap()
+
+    # -- flow variable per edge -------------------------------------------
+    for edge in graph.edges:
+        ub = edge.capacity if edge.capacity is not None else INF
+        var = model.add_var(f"{prefix}f[{edge.src}->{edge.dst}]", lb=0.0, ub=ub)
+        varmap.edge_vars[edge.key] = var
+        if edge.fixed_rate is not None:
+            model.add_constraint(
+                var == edge.fixed_rate,
+                name=f"{prefix}rate[{edge.src}->{edge.dst}]",
+            )
+
+    # -- supply term per source ---------------------------------------------
+    supply_exprs: dict[str, LinExpr] = {}
+    for node in graph.sources():
+        supply_exprs[node.name] = _supply_expr(
+            node, model, varmap, inputs, prefix
+        )
+
+    # -- behavior constraints per node ----------------------------------------
+    for node in graph.nodes:
+        _lower_node(graph, node, model, varmap, supply_exprs, prefix)
+
+    # -- objective ---------------------------------------------------------------
+    if graph.objective_node is not None:
+        inflow = quicksum(
+            varmap.edge_vars[e.key] for e in graph.in_edges(graph.objective_node)
+        )
+        model.set_objective(inflow, sense=graph.objective_sense)
+
+    return varmap
+
+
+def _supply_expr(
+    node: Node,
+    model: Model,
+    varmap: VarMap,
+    inputs: Mapping[str, float] | None,
+    prefix: str,
+) -> LinExpr:
+    """Build the supply term of a SOURCE node (constant, input, or free)."""
+    supply = node.supply
+    if isinstance(supply, InputSpec):
+        if inputs is not None and node.name in inputs:
+            value = float(inputs[node.name])
+            if not (supply.lb - 1e-9 <= value <= supply.ub + 1e-9):
+                raise CompilerError(
+                    f"input {node.name!r}={value} outside its declared range "
+                    f"[{supply.lb}, {supply.ub}]"
+                )
+            var = model.add_var(f"{prefix}in[{node.name}]", lb=value, ub=value)
+        else:
+            var = model.add_var(
+                f"{prefix}in[{node.name}]", lb=supply.lb, ub=supply.ub
+            )
+        varmap.input_vars[node.name] = var
+        return LinExpr.from_term(var)
+    if supply is None:
+        var = model.add_var(f"{prefix}sup[{node.name}]", lb=0.0, ub=INF)
+        varmap.free_supply_vars[node.name] = var
+        return LinExpr.from_term(var)
+    return LinExpr.constant_expr(float(supply))
+
+
+def _lower_node(
+    graph: FlowGraph,
+    node: Node,
+    model: Model,
+    varmap: VarMap,
+    supply_exprs: Mapping[str, LinExpr],
+    prefix: str,
+) -> None:
+    """Emit the constraints of one node according to its behaviors."""
+    if node.is_sink:
+        return  # sinks only collect flow; the objective reads their inflow
+
+    in_flow = quicksum(
+        varmap.edge_vars[e.key] for e in graph.in_edges(node.name)
+    )
+    if node.is_source:
+        in_flow = in_flow + supply_exprs[node.name]
+    out_edges = graph.out_edges(node.name)
+    out_flow = quicksum(varmap.edge_vars[e.key] for e in out_edges)
+
+    kind = node.routing_kind
+    if kind is None and node.is_source:
+        kind = NodeKind.SPLIT  # pure sources conserve by default
+
+    if kind is NodeKind.SPLIT:
+        model.add_constraint(
+            in_flow == out_flow, name=f"{prefix}cons[{node.name}]"
+        )
+    elif kind is NodeKind.PICK:
+        model.add_constraint(
+            in_flow == out_flow, name=f"{prefix}cons[{node.name}]"
+        )
+        binaries = []
+        for edge in out_edges:
+            b = model.add_var(
+                f"{prefix}pick[{node.name}|{edge.src}->{edge.dst}]",
+                vartype=VarType.BINARY,
+            )
+            varmap.pick_binaries[(node.name, edge.key)] = b
+            big_m = _pick_big_m(graph, node, edge)
+            model.add_constraint(
+                varmap.edge_vars[edge.key] <= big_m * b,
+                name=f"{prefix}pickcap[{node.name}|{edge.src}->{edge.dst}]",
+            )
+            binaries.append(b)
+        model.add_constraint(
+            quicksum(binaries) == 1, name=f"{prefix}pickone[{node.name}]"
+        )
+    elif kind is NodeKind.COPY:
+        for edge in out_edges:
+            model.add_constraint(
+                varmap.edge_vars[edge.key] == in_flow,
+                name=f"{prefix}copy[{edge.src}->{edge.dst}]",
+            )
+    elif kind is NodeKind.ALL_EQUAL:
+        incident = [
+            varmap.edge_vars[e.key]
+            for e in graph.in_edges(node.name) + out_edges
+        ]
+        exprs: list[LinExpr] = [LinExpr.from_term(v) for v in incident]
+        if node.is_source:
+            exprs.append(supply_exprs[node.name])
+        reference = exprs[0]
+        for i, other in enumerate(exprs[1:]):
+            model.add_constraint(
+                other == reference, name=f"{prefix}alleq[{node.name}|{i}]"
+            )
+    elif kind is NodeKind.MULTIPLY:
+        (in_edge,) = graph.in_edges(node.name)
+        (out_edge,) = out_edges
+        model.add_constraint(
+            varmap.edge_vars[out_edge.key]
+            == node.multiplier * varmap.edge_vars[in_edge.key],
+            name=f"{prefix}mult[{node.name}]",
+        )
+    else:  # pragma: no cover - guarded by Node invariants
+        raise CompilerError(f"node {node.name!r} has no lowerable behavior")
+
+
+def _pick_big_m(graph: FlowGraph, node: Node, edge) -> float:
+    """Big-M bound for one PICK out-edge.
+
+    Prefer the edge's own capacity, then the node's input/constant supply
+    bound, then the graph-wide default.
+    """
+    if edge.capacity is not None:
+        return edge.capacity
+    supply = node.supply
+    if isinstance(supply, InputSpec):
+        return supply.ub
+    if isinstance(supply, (int, float)):
+        return float(supply)
+    return graph.default_big_m

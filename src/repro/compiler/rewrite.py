@@ -1,0 +1,200 @@
+"""Graph-level rewrites applied before lowering.
+
+Together with solver presolve these implement the paper's §5.1 claim that
+the DSL "allows us to find redundant constraints and variables", which is
+what makes the compiled model faster to analyze than the hand-written one.
+Rewrites here work on the flow graph itself (structure the solver cannot
+see); presolve then handles what remains at the constraint level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dsl.graph import FlowGraph
+from repro.dsl.nodes import NodeKind
+
+
+@dataclass
+class RewriteStats:
+    """What the graph rewriter removed or contracted."""
+
+    pruned_zero_capacity_edges: int = 0
+    contracted_identity_nodes: int = 0
+    folded_copy_nodes: int = 0
+
+    @property
+    def total(self) -> int:
+        return (
+            self.pruned_zero_capacity_edges
+            + self.contracted_identity_nodes
+            + self.folded_copy_nodes
+        )
+
+
+def rewrite_graph(graph: FlowGraph) -> tuple[FlowGraph, RewriteStats]:
+    """Return a simplified copy of ``graph`` plus what was done.
+
+    Applied rewrites:
+
+    * **zero-capacity pruning** — an edge with capacity 0 carries no flow;
+      drop it (downstream validation still applies).
+    * **identity contraction** — a SPLIT or MULTIPLY(x1) node with exactly
+      one incoming and one outgoing edge, no supply and no sink/source role
+      is a wire; contract it, keeping the tighter capacity.
+    * **copy folding** — a COPY node with a single outgoing edge behaves
+      exactly like a SPLIT; retype it so later passes can contract it.
+    """
+    stats = RewriteStats()
+    work = graph.copy(f"{graph.name}_rw")
+
+    work, pruned = _prune_zero_capacity(work)
+    stats.pruned_zero_capacity_edges = pruned
+
+    work, folded = _fold_single_out_copies(work)
+    stats.folded_copy_nodes = folded
+
+    # Contract until fixpoint: removing one wire can expose another.
+    while True:
+        work, contracted = _contract_identities(work)
+        if contracted == 0:
+            break
+        stats.contracted_identity_nodes += contracted
+
+    work = _drop_orphans(work)
+    return work, stats
+
+
+def _drop_orphans(graph: FlowGraph) -> FlowGraph:
+    """Remove nodes left without incident edges by earlier rewrites.
+
+    The objective node is never dropped — losing it would silently change
+    the compiled model's objective, which must surface as an error instead.
+    """
+    orphans = {
+        node.name
+        for node in graph.nodes
+        if not graph.in_edges(node.name)
+        and not graph.out_edges(node.name)
+        and node.name != graph.objective_node
+    }
+    if not orphans:
+        return graph
+    return _rebuild(graph, drop_nodes=orphans)
+
+
+def _rebuild(
+    graph: FlowGraph,
+    *,
+    drop_nodes: set[str] = frozenset(),
+    drop_edges: set[tuple[str, str]] = frozenset(),
+    add_edges: list[tuple[str, str, float | None, float | None, dict]] = (),
+    retype: dict[str, frozenset] | None = None,
+) -> FlowGraph:
+    """Copy ``graph`` applying removals / additions / retypings."""
+    out = FlowGraph(graph.name)
+    retype = retype or {}
+    for node in graph.nodes:
+        if node.name in drop_nodes:
+            continue
+        kinds = retype.get(node.name, node.kinds)
+        out.add_node(
+            node.name,
+            *kinds,
+            multiplier=node.multiplier,
+            supply=node.supply,
+            metadata=dict(node.metadata),
+        )
+    for edge in graph.edges:
+        if edge.key in drop_edges:
+            continue
+        if edge.src in drop_nodes or edge.dst in drop_nodes:
+            continue
+        out.add_edge(
+            edge.src,
+            edge.dst,
+            capacity=edge.capacity,
+            fixed_rate=edge.fixed_rate,
+            metadata=dict(edge.metadata),
+        )
+    for src, dst, capacity, fixed_rate, metadata in add_edges:
+        if not out.has_edge(src, dst):
+            out.add_edge(
+                src, dst, capacity=capacity, fixed_rate=fixed_rate, metadata=metadata
+            )
+    out.objective_node = graph.objective_node
+    out.objective_sense = graph.objective_sense
+    out.default_big_m = graph.default_big_m
+    return out
+
+
+def _prune_zero_capacity(graph: FlowGraph) -> tuple[FlowGraph, int]:
+    doomed = {
+        e.key
+        for e in graph.edges
+        if e.capacity == 0.0 and (e.fixed_rate in (None, 0.0))
+    }
+    if not doomed:
+        return graph, 0
+    return _rebuild(graph, drop_edges=doomed), len(doomed)
+
+
+def _fold_single_out_copies(graph: FlowGraph) -> tuple[FlowGraph, int]:
+    retype: dict[str, frozenset] = {}
+    for node in graph.nodes:
+        if (
+            node.routing_kind is NodeKind.COPY
+            and len(graph.out_edges(node.name)) == 1
+        ):
+            kinds = (node.kinds - {NodeKind.COPY}) | {NodeKind.SPLIT}
+            retype[node.name] = frozenset(kinds)
+    if not retype:
+        return graph, 0
+    return _rebuild(graph, retype=retype), len(retype)
+
+
+def _contract_identities(graph: FlowGraph) -> tuple[FlowGraph, int]:
+    """Contract one batch of wire nodes (single-in single-out pass-throughs)."""
+    for node in graph.nodes:
+        if node.is_source or node.is_sink:
+            continue
+        kind = node.routing_kind
+        is_wire = kind is NodeKind.SPLIT or (
+            kind is NodeKind.MULTIPLY and node.multiplier == 1.0
+        )
+        if not is_wire:
+            continue
+        ins = graph.in_edges(node.name)
+        outs = graph.out_edges(node.name)
+        if len(ins) != 1 or len(outs) != 1:
+            continue
+        in_edge, out_edge = ins[0], outs[0]
+        if in_edge.src == out_edge.dst:
+            continue  # would create a self-loop
+        if graph.has_edge(in_edge.src, out_edge.dst):
+            continue  # parallel edges are not representable; keep the node
+        # Objective nodes read inflow; never contract into/through them.
+        capacity = _tighter(in_edge.capacity, out_edge.capacity)
+        fixed = in_edge.fixed_rate if in_edge.fixed_rate is not None else out_edge.fixed_rate
+        if (
+            in_edge.fixed_rate is not None
+            and out_edge.fixed_rate is not None
+            and in_edge.fixed_rate != out_edge.fixed_rate
+        ):
+            continue  # contradictory rates: leave for the solver to reject
+        metadata = {**in_edge.metadata, **out_edge.metadata}
+        rebuilt = _rebuild(
+            graph,
+            drop_nodes={node.name},
+            add_edges=[(in_edge.src, out_edge.dst, capacity, fixed, metadata)],
+        )
+        return rebuilt, 1
+    return graph, 0
+
+
+def _tighter(a: float | None, b: float | None) -> float | None:
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)

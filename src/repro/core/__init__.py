@@ -1,0 +1,20 @@
+"""The end-to-end XPlain pipeline (Fig. 3)."""
+
+from repro.core.config import XPlainConfig
+from repro.core.pipeline import XPlain
+from repro.core.results import ExplainedSubspace, XPlainReport
+from repro.core.visualize import (
+    render_gap_table,
+    render_layered_graph,
+    render_region_matrix,
+)
+
+__all__ = [
+    "ExplainedSubspace",
+    "XPlain",
+    "XPlainConfig",
+    "XPlainReport",
+    "render_gap_table",
+    "render_layered_graph",
+    "render_region_matrix",
+]

@@ -1,0 +1,34 @@
+"""Configuration of the end-to-end XPlain pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.subspace.generator import GeneratorConfig
+
+
+@dataclass
+class XPlainConfig:
+    """Knobs for one :class:`~repro.core.pipeline.XPlain` run.
+
+    Defaults are sized for interactive use; the paper's own figures use
+    3000 explainer samples and ~20 minutes per figure — set
+    ``explainer_samples=3000`` to match.
+    """
+
+    #: "metaopt" (exact encoding required), "blackbox", or "auto"
+    analyzer: str = "auto"
+    #: black-box search strategy when the black-box analyzer is used
+    blackbox_strategy: str = "hillclimb"
+    blackbox_budget: int = 400
+    #: MILP backend for the exact analyzer
+    backend: str = "scipy"
+    #: §5.2 subspace generation
+    generator: GeneratorConfig = field(default_factory=GeneratorConfig)
+    #: §5.3 samples per subspace heatmap (paper: 3000)
+    explainer_samples: int = 300
+    #: score cutoff for narrative explanations
+    explainer_cutoff: float = 0.2
+    #: §5.4 within-instance generalization samples (0 disables)
+    generalizer_samples: int = 200
+    seed: int = 0

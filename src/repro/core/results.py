@@ -1,0 +1,79 @@
+"""Result objects of the XPlain pipeline: the paper's three output types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyzer.interface import AnalyzedProblem
+from repro.explain.heatmap import Heatmap
+from repro.explain.report import ExplanationReport
+from repro.explain.summarize import GroupSummary
+from repro.generalize.enumerate_ import GeneralizerResult
+from repro.subspace.generator import GeneratorReport, Subspace
+
+
+@dataclass
+class ExplainedSubspace:
+    """One Type-1 subspace together with its Type-2 explanation."""
+
+    subspace: Subspace
+    heatmap: Heatmap
+    narrative: ExplanationReport
+    summary: list[GroupSummary] = field(default_factory=list)
+
+    def describe(self, input_names: list[str] | None = None) -> str:
+        parts = [
+            self.subspace.describe(input_names),
+            self.heatmap.render(),
+            self.narrative.render(),
+        ]
+        deltas = self.heatmap.render_flow_deltas(max_rows=5)
+        if "no volume divergence" not in deltas:
+            parts.append(deltas)
+        if self.summary:
+            parts.append("grouped summary:")
+            parts.extend(f"  {g.describe()}" for g in self.summary[:6])
+        return "\n".join(parts)
+
+
+@dataclass
+class XPlainReport:
+    """Everything one pipeline run produced.
+
+    * Type 1 — ``subspaces`` (regions in the Fig. 5c algebra);
+    * Type 2 — per-subspace heatmaps and narratives;
+    * Type 3 — ``generalization`` (supported grammar predicates).
+    """
+
+    problem: AnalyzedProblem
+    generator_report: GeneratorReport
+    explained: list[ExplainedSubspace] = field(default_factory=list)
+    generalization: GeneralizerResult | None = None
+    runtime_seconds: float = 0.0
+
+    @property
+    def worst_gap(self) -> float:
+        seeds = [s.subspace.seed.validated_gap for s in self.explained]
+        return max(seeds, default=0.0)
+
+    @property
+    def num_subspaces(self) -> int:
+        return len(self.explained)
+
+    def summary(self) -> str:
+        """The report a user reads first."""
+        lines = [
+            f"XPlain report for {self.problem.name}",
+            f"  worst-case gap found: {self.worst_gap:.4g}",
+            f"  adversarial subspaces: {self.num_subspaces} significant, "
+            f"{len(self.generator_report.rejected)} rejected "
+            f"(threshold {self.generator_report.threshold:.4g})",
+            f"  runtime: {self.runtime_seconds:.1f}s",
+        ]
+        for i, item in enumerate(self.explained):
+            lines.append(f"--- subspace D{i} " + "-" * 40)
+            lines.append(item.describe(self.problem.input_names))
+        if self.generalization is not None:
+            lines.append("--- type-3 generalization " + "-" * 28)
+            lines.append(self.generalization.describe())
+        return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""Text visualizations of the paper's figures.
+
+Everything here renders to plain text so reports work in terminals and CI
+logs: the Fig. 4 layered graph with heatmap colors, the Fig. 5b tree, and
+the Fig. 5c algebraic subspace form.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsl.graph import FlowGraph
+from repro.explain.heatmap import Heatmap
+from repro.subspace.region import Region
+
+#: Heatmap color glyphs: intensity of red (heuristic-only) / blue
+#: (benchmark-only), matching the Fig. 4 legend.
+_GLYPHS = {
+    "strong-red": "RR",
+    "red": "r ",
+    "neutral": ". ",
+    "blue": "b ",
+    "strong-blue": "BB",
+}
+
+
+def render_layered_graph(
+    graph: FlowGraph, heatmap: Heatmap | None = None, max_width: int = 100
+) -> str:
+    """Fig. 4-style rendering: node groups as layers, colored edges.
+
+    Groups come from the DSL metadata (DEMANDS/PATHS/EDGES, BALLS/BINS);
+    ungrouped nodes are listed under their role.
+    """
+    layers: dict[str, list[str]] = {}
+    for node in graph.nodes:
+        label = node.group() or node.role() or "other"
+        layers.setdefault(label, []).append(node.name)
+
+    lines = [f"graph {graph.name!r} (Fig. 4 style)"]
+    for label, names in layers.items():
+        row = "  ".join(names)
+        if len(row) > max_width:
+            row = row[: max_width - 3] + "..."
+        lines.append(f"[{label}] {row}")
+    lines.append("edges (glyph = heatmap color):")
+    for edge in graph.edges:
+        glyph = ". "
+        if heatmap is not None and edge.key in heatmap.scores:
+            glyph = _GLYPHS[heatmap.scores[edge.key].color]
+        lines.append(f"  {glyph} {edge.src} -> {edge.dst}")
+    return "\n".join(lines)
+
+
+def render_region_matrix(region: Region, names: list[str] | None = None) -> str:
+    """The Fig. 5c form: A X <= C (box) and T X <= V (tree path)."""
+    a, c, t, v = region.matrix_form()
+    names = names or [f"x{i}" for i in range(region.dim)]
+    lines = ["subspace in Fig. 5c matrix form:"]
+    lines.append(f"  X = [{' '.join(names)}]^T")
+    lines.append("  A X <= C (rough box):")
+    for row, rhs in zip(a, c):
+        lines.append(f"    [{_fmt_row(row)}] X <= {rhs:.4g}")
+    if len(t):
+        lines.append("  T X <= V (regression-tree path):")
+        for row, rhs in zip(t, v):
+            lines.append(f"    [{_fmt_row(row)}] X <= {rhs:.4g}")
+    return "\n".join(lines)
+
+
+def _fmt_row(row: np.ndarray) -> str:
+    return " ".join(f"{value:+.2g}" for value in row)
+
+
+def render_gap_table(
+    rows: list[tuple[str, float, float]],
+) -> str:
+    """A Fig. 1a-style table: label, heuristic value, benchmark value."""
+    lines = [
+        f"{'instance':<28} {'heuristic':>12} {'benchmark':>12} {'gap':>10}"
+    ]
+    for label, heuristic, benchmark in rows:
+        lines.append(
+            f"{label:<28} {heuristic:>12.4g} {benchmark:>12.4g} "
+            f"{benchmark - heuristic:>10.4g}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,7 @@
+"""Domain packages: the paper's running examples plus one extension.
+
+* :mod:`repro.domains.te` — WAN traffic engineering with Demand Pinning;
+* :mod:`repro.domains.binpack` — vector bin packing with First Fit;
+* :mod:`repro.domains.sched` — makespan scheduling (the paper notes
+  Virelay-style scheduling heuristics are "conceptually similar to VBP").
+"""

@@ -1,0 +1,77 @@
+"""Optimal bin packing (the VBP benchmark): assignment MILP.
+
+Minimize the number of used bins subject to every ball being placed and
+per-bin capacity in every dimension. Small instances go through the
+built-in branch-and-bound; larger ones use SciPy/HiGHS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domains.binpack.instance import PackingResult, VbpInstance
+from repro.exceptions import AnalyzerError
+from repro.solver import Model, SolveStatus, VarType, quicksum
+
+
+def solve_optimal_packing(
+    instance: VbpInstance, backend: str = "scipy"
+) -> PackingResult:
+    """The minimum-bin packing (raises when even that is infeasible)."""
+    n, m = instance.num_balls, instance.num_bins
+    sizes = instance.size_array
+    capacity = instance.capacity_array
+
+    model = Model("optimal_vbp", sense="min")
+    assign = {
+        (i, j): model.add_var(f"x[{i}|{j}]", vartype=VarType.BINARY)
+        for i in range(n)
+        for j in range(m)
+    }
+    used = [
+        model.add_var(f"z[{j}]", vartype=VarType.BINARY) for j in range(m)
+    ]
+    for i in range(n):
+        model.add_constraint(
+            quicksum(assign[i, j] for j in range(m)) == 1, name=f"place[{i}]"
+        )
+    for j in range(m):
+        for dim in range(instance.num_dims):
+            model.add_constraint(
+                quicksum(
+                    float(sizes[i, dim]) * assign[i, j] for i in range(n)
+                )
+                <= float(capacity[dim]),
+                name=f"cap[{j}|{dim}]",
+            )
+        for i in range(n):
+            model.add_constraint(
+                assign[i, j] <= used[j], name=f"open[{i}|{j}]"
+            )
+    # Symmetry breaking: bins are interchangeable, use them in order.
+    for j in range(m - 1):
+        model.add_constraint(used[j] >= used[j + 1], name=f"sym[{j}]")
+    model.set_objective(quicksum(used))
+
+    solution = model.solve(backend=backend)
+    if solution.status is not SolveStatus.OPTIMAL:
+        raise AnalyzerError(
+            f"optimal packing failed: {solution.status.value} "
+            f"(instance may need more bins)"
+        )
+    assignment = [-1] * n
+    for (i, j), var in assign.items():
+        if solution.values[var] > 0.5:
+            assignment[i] = j
+    return PackingResult(assignment, feasible=True, algorithm="optimal")
+
+
+def optimal_bin_count(instance: VbpInstance, backend: str = "scipy") -> int:
+    return solve_optimal_packing(instance, backend=backend).bins_used
+
+
+def lower_bound(instance: VbpInstance) -> int:
+    """Volume-based lower bound on the optimal bin count (per dimension)."""
+    totals = instance.size_array.sum(axis=0)
+    per_dim = np.ceil(totals / instance.capacity_array - 1e-9)
+    return int(max(1, per_dim.max()))

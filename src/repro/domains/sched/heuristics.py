@@ -1,0 +1,34 @@
+"""Scheduling heuristics: list scheduling (Graham) and LPT."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domains.sched.instance import SchedInstance, Schedule
+
+
+def list_scheduling(instance: SchedInstance) -> Schedule:
+    """Graham's list scheduling: each job goes to the least-loaded machine.
+
+    Ties break toward the lower machine index (deterministic, which the
+    analyzer encoding relies on).
+    """
+    loads = np.zeros(instance.num_machines)
+    assignment: list[int] = []
+    for duration in instance.durations:
+        machine = int(np.argmin(loads))
+        loads[machine] += duration
+        assignment.append(machine)
+    return Schedule(assignment, algorithm="list_scheduling")
+
+
+def longest_processing_time(instance: SchedInstance) -> Schedule:
+    """LPT: sort jobs by decreasing duration, then list-schedule."""
+    order = np.argsort(-instance.duration_array, kind="stable")
+    loads = np.zeros(instance.num_machines)
+    assignment = [-1] * instance.num_jobs
+    for job in order:
+        machine = int(np.argmin(loads))
+        loads[machine] += instance.durations[int(job)]
+        assignment[int(job)] = machine
+    return Schedule(assignment, algorithm="lpt")

@@ -1,0 +1,68 @@
+"""Makespan scheduling instances.
+
+The paper remarks that "the scheduling examples Virley studies are
+conceptually similar to VBP, and we think our discussions directly
+translate to those use-cases" — this package is that translation: jobs with
+durations onto identical machines, minimizing makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DslError
+
+
+@dataclass(frozen=True)
+class SchedInstance:
+    """Jobs (durations) to be placed on identical machines."""
+
+    durations: tuple[float, ...]
+    num_machines: int
+
+    def __post_init__(self) -> None:
+        if self.num_machines <= 0:
+            raise DslError("need at least one machine")
+        if not self.durations:
+            raise DslError("need at least one job")
+        for d in self.durations:
+            if d < 0:
+                raise DslError(f"negative duration {d}")
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.durations)
+
+    @property
+    def duration_array(self) -> np.ndarray:
+        return np.array(self.durations)
+
+    def with_durations(self, durations) -> "SchedInstance":
+        return SchedInstance(
+            tuple(float(d) for d in np.asarray(durations, dtype=float).ravel()),
+            self.num_machines,
+        )
+
+
+@dataclass
+class Schedule:
+    """A job -> machine assignment with its makespan."""
+
+    assignment: list[int]
+    algorithm: str = ""
+
+    def machine_loads(self, instance: SchedInstance) -> np.ndarray:
+        loads = np.zeros(instance.num_machines)
+        for job, machine in enumerate(self.assignment):
+            loads[machine] += instance.durations[job]
+        return loads
+
+    def makespan(self, instance: SchedInstance) -> float:
+        return float(self.machine_loads(instance).max())
+
+    def validate(self, instance: SchedInstance) -> bool:
+        return all(
+            0 <= m < instance.num_machines for m in self.assignment
+        ) and len(self.assignment) == instance.num_jobs

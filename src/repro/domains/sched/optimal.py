@@ -1,0 +1,47 @@
+"""Optimal makespan scheduling via MILP."""
+
+from __future__ import annotations
+
+from repro.domains.sched.instance import SchedInstance, Schedule
+from repro.exceptions import AnalyzerError
+from repro.solver import Model, SolveStatus, VarType, quicksum
+
+
+def solve_optimal_schedule(
+    instance: SchedInstance, backend: str = "scipy"
+) -> Schedule:
+    """Minimize the makespan over all job -> machine assignments."""
+    n, m = instance.num_jobs, instance.num_machines
+    model = Model("optimal_sched", sense="min")
+    assign = {
+        (i, j): model.add_var(f"x[{i}|{j}]", vartype=VarType.BINARY)
+        for i in range(n)
+        for j in range(m)
+    }
+    total = float(sum(instance.durations))
+    makespan = model.add_var("makespan", lb=0.0, ub=total)
+    for i in range(n):
+        model.add_constraint(
+            quicksum(assign[i, j] for j in range(m)) == 1, name=f"place[{i}]"
+        )
+    for j in range(m):
+        load = quicksum(
+            float(instance.durations[i]) * assign[i, j] for i in range(n)
+        )
+        model.add_constraint(load <= makespan, name=f"span[{j}]")
+    model.set_objective(makespan)
+    solution = model.solve(backend=backend)
+    if solution.status is not SolveStatus.OPTIMAL:
+        raise AnalyzerError(
+            f"optimal scheduling failed: {solution.status.value}"
+        )
+    assignment = [-1] * n
+    for (i, j), var in assign.items():
+        if solution.values[var] > 0.5:
+            assignment[i] = j
+    return Schedule(assignment, algorithm="optimal")
+
+
+def optimal_makespan(instance: SchedInstance, backend: str = "scipy") -> float:
+    schedule = solve_optimal_schedule(instance, backend=backend)
+    return schedule.makespan(instance)

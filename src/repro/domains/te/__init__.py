@@ -1,0 +1,62 @@
+"""Traffic engineering with Demand Pinning (the paper's §2/Fig. 1a example).
+
+Provides the topology/path/demand substrate, the optimal max-flow benchmark,
+the Demand Pinning heuristic, the Fig. 4a DSL model, and the MetaOpt bilevel
+encoding used by the analyzer.
+"""
+
+from repro.domains.te.analyzer_model import (
+    build_dp_encoding,
+    demand_pinning_problem,
+)
+from repro.domains.te.demands import (
+    Demand,
+    DemandSet,
+    all_pairs_demand_set,
+    build_demand_set,
+    fig1a_demand_pairs,
+    fig4a_demand_pairs,
+)
+from repro.domains.te.dsl_model import (
+    build_te_graph,
+    solve_te_graph,
+    te_flows_for_result,
+)
+from repro.domains.te.optimal import TEResult, solve_optimal_te
+from repro.domains.te.paths import Path, k_shortest_paths
+from repro.domains.te.pinning import (
+    pinned_demands,
+    pinning_gap,
+    solve_demand_pinning,
+)
+from repro.domains.te.topology import (
+    Link,
+    Topology,
+    fig1a_topology,
+    line_topology,
+)
+
+__all__ = [
+    "Demand",
+    "DemandSet",
+    "Link",
+    "Path",
+    "TEResult",
+    "Topology",
+    "all_pairs_demand_set",
+    "build_demand_set",
+    "build_dp_encoding",
+    "build_te_graph",
+    "demand_pinning_problem",
+    "fig1a_demand_pairs",
+    "fig1a_topology",
+    "fig4a_demand_pairs",
+    "k_shortest_paths",
+    "line_topology",
+    "pinned_demands",
+    "pinning_gap",
+    "solve_demand_pinning",
+    "solve_optimal_te",
+    "solve_te_graph",
+    "te_flows_for_result",
+]

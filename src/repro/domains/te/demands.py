@@ -1,0 +1,134 @@
+"""Demands and demand sets for the TE domain."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.domains.te.paths import Path, k_shortest_paths
+from repro.domains.te.topology import Topology
+from repro.exceptions import DslError
+
+
+@dataclass(frozen=True)
+class Demand:
+    """A source-destination pair with its candidate paths.
+
+    ``paths[0]`` is the shortest path (the one Demand Pinning pins to).
+    """
+
+    src: str
+    dst: str
+    paths: tuple[Path, ...]
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise DslError(f"demand {self.key} has no paths")
+        for path in self.paths:
+            if path.src != self.src or path.dst != self.dst:
+                raise DslError(
+                    f"path {path.name} does not connect {self.key}"
+                )
+
+    @property
+    def key(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    @property
+    def shortest_path(self) -> Path:
+        return self.paths[0]
+
+    def __repr__(self) -> str:
+        return f"Demand({self.key}, paths={len(self.paths)})"
+
+
+@dataclass
+class DemandSet:
+    """An ordered collection of demands over one topology.
+
+    The ordering defines the input-space dimensions everywhere else in the
+    pipeline (analyzer vectors, subspace boxes, explainer samples).
+    """
+
+    topology: Topology
+    demands: list[Demand] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.demands)
+
+    @property
+    def keys(self) -> list[str]:
+        return [d.key for d in self.demands]
+
+    def demand(self, key: str) -> Demand:
+        for d in self.demands:
+            if d.key == key:
+                return d
+        raise DslError(f"unknown demand {key!r}")
+
+    def values_from(self, values: Mapping[str, float] | np.ndarray) -> dict[str, float]:
+        """Normalize a value vector/mapping into a key -> value dict."""
+        if isinstance(values, Mapping):
+            missing = set(self.keys) - set(values)
+            if missing:
+                raise DslError(f"missing demand values for {sorted(missing)}")
+            return {k: float(values[k]) for k in self.keys}
+        array = np.asarray(values, dtype=float)
+        if array.shape != (self.size,):
+            raise DslError(
+                f"expected {self.size} demand values, got shape {array.shape}"
+            )
+        return {k: float(v) for k, v in zip(self.keys, array)}
+
+    def vector_from(self, values: Mapping[str, float]) -> np.ndarray:
+        return np.array([float(values[k]) for k in self.keys])
+
+
+def build_demand_set(
+    topology: Topology,
+    pairs: Iterable[tuple[str, str]],
+    num_paths: int = 3,
+) -> DemandSet:
+    """Demand set for explicit (src, dst) pairs with k-shortest paths."""
+    demands = []
+    for src, dst in pairs:
+        paths = k_shortest_paths(topology, src, dst, num_paths)
+        if not paths:
+            raise DslError(f"no path from {src} to {dst}")
+        demands.append(Demand(src, dst, tuple(paths)))
+    return DemandSet(topology, demands)
+
+
+def all_pairs_demand_set(topology: Topology, num_paths: int = 3) -> DemandSet:
+    """Demand set over every connected ordered pair."""
+    demands = []
+    for src in topology.nodes:
+        for dst in topology.nodes:
+            if src == dst:
+                continue
+            paths = k_shortest_paths(topology, src, dst, num_paths)
+            if paths:
+                demands.append(Demand(src, dst, tuple(paths)))
+    return DemandSet(topology, demands)
+
+
+def fig4a_demand_pairs() -> list[tuple[str, str]]:
+    """The eight demands of the paper's Fig. 4a."""
+    return [
+        ("1", "2"),
+        ("1", "3"),
+        ("1", "4"),
+        ("1", "5"),
+        ("2", "3"),
+        ("4", "3"),
+        ("4", "5"),
+        ("5", "3"),
+    ]
+
+
+def fig1a_demand_pairs() -> list[tuple[str, str]]:
+    """The three demands of the paper's Fig. 1a table."""
+    return [("1", "3"), ("1", "2"), ("2", "3")]

@@ -1,0 +1,74 @@
+"""Path enumeration for the TE domain (k-shortest simple paths)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice
+
+import networkx as nx
+
+from repro.domains.te.topology import Topology
+from repro.exceptions import DslError
+
+
+@dataclass(frozen=True)
+class Path:
+    """A simple directed path through the topology."""
+
+    nodes: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise DslError(f"path needs at least two nodes, got {self.nodes}")
+
+    @property
+    def src(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def dst(self) -> str:
+        return self.nodes[-1]
+
+    @property
+    def links(self) -> tuple[tuple[str, str], ...]:
+        """The (src, dst) link keys traversed in order."""
+        return tuple(zip(self.nodes, self.nodes[1:]))
+
+    @property
+    def length(self) -> int:
+        """Hop count."""
+        return len(self.nodes) - 1
+
+    @property
+    def name(self) -> str:
+        return "-".join(self.nodes)
+
+    def uses_link(self, src: str, dst: str) -> bool:
+        return (src, dst) in self.links
+
+    def min_capacity(self, topology: Topology) -> float:
+        """Bottleneck capacity along the path."""
+        return min(topology.capacity(u, v) for u, v in self.links)
+
+    def __repr__(self) -> str:
+        return f"Path({self.name})"
+
+
+def k_shortest_paths(
+    topology: Topology, src: str, dst: str, k: int
+) -> list[Path]:
+    """Up to ``k`` shortest simple paths by hop count (ties by node order).
+
+    The first returned path is *the* shortest path Demand Pinning pins to.
+    """
+    if src == dst:
+        raise DslError(f"src and dst coincide: {src!r}")
+    graph = topology.to_networkx()
+    try:
+        generator = nx.shortest_simple_paths(graph, src, dst)
+        found = list(islice(generator, k))
+    except nx.NetworkXNoPath:
+        return []
+    except nx.NodeNotFound as exc:
+        raise DslError(str(exc)) from None
+    return [Path(tuple(nodes)) for nodes in found]

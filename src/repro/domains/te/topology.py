@@ -1,0 +1,155 @@
+"""Network topologies for the traffic-engineering domain.
+
+Topologies are directed capacitated graphs. :func:`fig1a_topology` is the
+paper's 5-node WAN example; random generators for the instance generator
+(§5.4) live in :mod:`repro.generalize.instances` and build on
+:func:`Topology.random`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import DslError
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed capacitated link."""
+
+    src: str
+    dst: str
+    capacity: float
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.src, self.dst)
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}-{self.dst}"
+
+
+class Topology:
+    """A directed capacitated network."""
+
+    def __init__(self, name: str = "topology") -> None:
+        self.name = name
+        self._links: dict[tuple[str, str], Link] = {}
+        self._nodes: list[str] = []
+
+    def add_node(self, node: str) -> None:
+        if node not in self._nodes:
+            self._nodes.append(node)
+
+    def add_link(self, src: str, dst: str, capacity: float) -> Link:
+        if capacity <= 0:
+            raise DslError(f"link {src}->{dst} needs positive capacity")
+        if (src, dst) in self._links:
+            raise DslError(f"duplicate link {src}->{dst}")
+        self.add_node(src)
+        self.add_node(dst)
+        link = Link(src, dst, float(capacity))
+        self._links[(src, dst)] = link
+        return link
+
+    def add_duplex_link(self, a: str, b: str, capacity: float) -> None:
+        """Two directed links with the same capacity (WAN convention)."""
+        self.add_link(a, b, capacity)
+        self.add_link(b, a, capacity)
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._nodes)
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_links(self) -> int:
+        return len(self._links)
+
+    def link(self, src: str, dst: str) -> Link:
+        try:
+            return self._links[(src, dst)]
+        except KeyError:
+            raise DslError(f"unknown link {src}->{dst}") from None
+
+    def has_link(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._links
+
+    def capacity(self, src: str, dst: str) -> float:
+        return self.link(src, dst).capacity
+
+    def min_capacity(self) -> float:
+        return min(link.capacity for link in self.links)
+
+    def to_networkx(self) -> nx.DiGraph:
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._nodes)
+        for link in self._links.values():
+            graph.add_edge(link.src, link.dst, capacity=link.capacity)
+        return graph
+
+    @staticmethod
+    def random(
+        num_nodes: int,
+        edge_probability: float,
+        capacity_range: tuple[float, float],
+        rng: np.random.Generator,
+        name: str = "random",
+    ) -> "Topology":
+        """A random strongly-connected-ish directed topology.
+
+        A Hamiltonian cycle guarantees connectivity; extra links are added
+        with ``edge_probability``. Capacities are uniform over the range.
+        """
+        topo = Topology(name)
+        labels = [str(i + 1) for i in range(num_nodes)]
+        lo, hi = capacity_range
+        for i, label in enumerate(labels):
+            nxt = labels[(i + 1) % num_nodes]
+            topo.add_link(label, nxt, float(rng.uniform(lo, hi)))
+        for a in labels:
+            for b in labels:
+                if a != b and not topo.has_link(a, b):
+                    if rng.random() < edge_probability:
+                        topo.add_link(a, b, float(rng.uniform(lo, hi)))
+        return topo
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology({self.name!r}, nodes={self.num_nodes}, "
+            f"links={self.num_links})"
+        )
+
+
+def fig1a_topology() -> Topology:
+    """The 5-node topology of the paper's Fig. 1a.
+
+    Links (directed along demand flow): 1->2 and 2->3 at capacity 100;
+    1->4, 4->5, 5->3 at capacity 50.
+    """
+    topo = Topology("fig1a")
+    topo.add_link("1", "2", 100.0)
+    topo.add_link("2", "3", 100.0)
+    topo.add_link("1", "4", 50.0)
+    topo.add_link("4", "5", 50.0)
+    topo.add_link("5", "3", 50.0)
+    return topo
+
+
+def line_topology(num_nodes: int, capacity: float = 100.0) -> Topology:
+    """A simple directed line 1 -> 2 -> ... -> n (tests and examples)."""
+    topo = Topology(f"line{num_nodes}")
+    for i in range(1, num_nodes):
+        topo.add_link(str(i), str(i + 1), capacity)
+    return topo

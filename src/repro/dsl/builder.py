@@ -1,0 +1,214 @@
+"""Fluent builder for flow graphs.
+
+The paper implements its DSL "in a LINQ-style language" embedded in C#; this
+module is the Python equivalent: a chainable builder that reads close to the
+paper's pseudocode. Example (the DP model of Fig. 4a, abbreviated)::
+
+    graph = (
+        FlowGraphBuilder("dp")
+        .input_source("demand:1->3", lb=0, ub=100, group="DEMANDS")
+        .split("path:1-2-3", group="PATHS")
+        .split("link:1->2", group="EDGES")
+        .sink("met", objective="max")
+        .edge("demand:1->3", "path:1-2-3")
+        .edge("path:1-2-3", "link:1->2", capacity=100)
+        .edge("link:1->2", "met")
+        .build()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.dsl.graph import FlowGraph
+from repro.dsl.nodes import InputSpec, NodeKind
+from repro.exceptions import GraphValidationError
+
+
+class FlowGraphBuilder:
+    """Chainable construction of a :class:`FlowGraph`."""
+
+    def __init__(self, name: str = "flow") -> None:
+        self._graph = FlowGraph(name)
+        self._objective: tuple[str, str] | None = None
+
+    # -- node helpers -------------------------------------------------------
+    def _metadata(self, group: str, role: str, extra: Mapping[str, Any] | None):
+        metadata: dict[str, Any] = dict(extra or {})
+        if group:
+            metadata.setdefault("group", group)
+        if role:
+            metadata.setdefault("role", role)
+        return metadata
+
+    def split(
+        self,
+        name: str,
+        group: str = "",
+        role: str = "",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "FlowGraphBuilder":
+        """Add a SPLIT node (flow conservation)."""
+        self._graph.add_node(
+            name, NodeKind.SPLIT, metadata=self._metadata(group, role, metadata)
+        )
+        return self
+
+    def pick(
+        self,
+        name: str,
+        group: str = "",
+        role: str = "",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "FlowGraphBuilder":
+        """Add a PICK node (conservation + single outgoing edge)."""
+        self._graph.add_node(
+            name, NodeKind.PICK, metadata=self._metadata(group, role, metadata)
+        )
+        return self
+
+    def multiply(
+        self,
+        name: str,
+        factor: float,
+        group: str = "",
+        role: str = "",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "FlowGraphBuilder":
+        """Add a MULTIPLY node (f_out = factor * f_in)."""
+        self._graph.add_node(
+            name,
+            NodeKind.MULTIPLY,
+            multiplier=factor,
+            metadata=self._metadata(group, role, metadata),
+        )
+        return self
+
+    def all_equal(
+        self,
+        name: str,
+        group: str = "",
+        role: str = "",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "FlowGraphBuilder":
+        """Add an ALL-EQUAL node (all incident edges carry the same flow)."""
+        self._graph.add_node(
+            name, NodeKind.ALL_EQUAL, metadata=self._metadata(group, role, metadata)
+        )
+        return self
+
+    def copy_node(
+        self,
+        name: str,
+        group: str = "",
+        role: str = "",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "FlowGraphBuilder":
+        """Add a COPY node (each outgoing edge carries the total inflow)."""
+        self._graph.add_node(
+            name, NodeKind.COPY, metadata=self._metadata(group, role, metadata)
+        )
+        return self
+
+    def source(
+        self,
+        name: str,
+        supply: float | None = None,
+        behavior: NodeKind | str = NodeKind.SPLIT,
+        group: str = "",
+        role: str = "",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "FlowGraphBuilder":
+        """Add a SOURCE with constant or free supply.
+
+        ``behavior`` selects the routing discipline the source enforces
+        (SPLIT for demand-style sources, PICK for ball-style sources).
+        """
+        self._graph.add_node(
+            name,
+            NodeKind.SOURCE,
+            behavior,
+            supply=supply,
+            metadata=self._metadata(group, role, metadata),
+        )
+        return self
+
+    def input_source(
+        self,
+        name: str,
+        lb: float,
+        ub: float,
+        behavior: NodeKind | str = NodeKind.SPLIT,
+        group: str = "",
+        role: str = "",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "FlowGraphBuilder":
+        """Add a SOURCE whose supply is an adversarial input dimension."""
+        self._graph.add_node(
+            name,
+            NodeKind.SOURCE,
+            behavior,
+            supply=InputSpec(lb=lb, ub=ub),
+            metadata=self._metadata(group, role, metadata),
+        )
+        return self
+
+    def sink(
+        self,
+        name: str,
+        objective: str | None = None,
+        group: str = "",
+        role: str = "",
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "FlowGraphBuilder":
+        """Add a SINK; pass ``objective='max'|'min'`` to make it the objective."""
+        self._graph.add_node(
+            name, NodeKind.SINK, metadata=self._metadata(group, role, metadata)
+        )
+        if objective is not None:
+            self._objective = (name, objective)
+        return self
+
+    # -- edges ----------------------------------------------------------------
+    def edge(
+        self,
+        src: str,
+        dst: str,
+        capacity: float | None = None,
+        fixed_rate: float | None = None,
+        metadata: Mapping[str, Any] | None = None,
+    ) -> "FlowGraphBuilder":
+        self._graph.add_edge(
+            src, dst, capacity=capacity, fixed_rate=fixed_rate, metadata=metadata
+        )
+        return self
+
+    def edges(self, pairs: Iterable[tuple[str, str]], capacity: float | None = None) -> "FlowGraphBuilder":
+        for src, dst in pairs:
+            self.edge(src, dst, capacity=capacity)
+        return self
+
+    def chain(self, names: Iterable[str], capacity: float | None = None) -> "FlowGraphBuilder":
+        """Connect ``names`` in sequence with edges."""
+        names = list(names)
+        for src, dst in zip(names, names[1:]):
+            self.edge(src, dst, capacity=capacity)
+        return self
+
+    # -- options ---------------------------------------------------------------
+    def big_m(self, value: float) -> "FlowGraphBuilder":
+        """Set the default big-M the compiler uses for PICK disjunctions."""
+        if value <= 0:
+            raise GraphValidationError(f"big-M must be positive, got {value}")
+        self._graph.default_big_m = value
+        return self
+
+    # -- finish -----------------------------------------------------------------
+    def build(self, validate: bool = True) -> FlowGraph:
+        if self._objective is not None:
+            name, sense = self._objective
+            self._graph.set_objective(name, sense)
+        if validate:
+            self._graph.validate()
+        return self._graph

@@ -1,0 +1,137 @@
+"""Abstract problem templates and their concretization.
+
+§5.1: "Users encode the problem, the heuristic, and the benchmark in the DSL
+in abstract terms. [...] To analyze a specific instance of the VBP problem,
+users input the number of balls and bins and then XPlain concretizes the
+encoding."
+
+A :class:`ProblemTemplate` couples a parameter declaration (names, types,
+ranges) with a build function that produces the concrete
+:class:`~repro.dsl.graph.FlowGraph` for given parameter values. The instance
+generator of §5.4 samples parameter values from the declared ranges to create
+the diverse instances the generalizer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.dsl.graph import FlowGraph
+from repro.exceptions import DslError
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Declaration of one template parameter.
+
+    ``low``/``high`` bound the values the instance generator may sample;
+    ``default`` is used when the caller omits the parameter.
+    """
+
+    name: str
+    kind: type = int
+    low: float = 1
+    high: float = 16
+    default: Any = None
+
+    def validate(self, value: Any) -> Any:
+        if self.kind is int:
+            if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+                raise DslError(
+                    f"parameter {self.name!r} expects an int, got {value!r}"
+                )
+        elif self.kind is float:
+            if not isinstance(value, (int, float, np.floating)) or isinstance(
+                value, bool
+            ):
+                raise DslError(
+                    f"parameter {self.name!r} expects a number, got {value!r}"
+                )
+        if not (self.low <= value <= self.high):
+            raise DslError(
+                f"parameter {self.name!r}={value!r} outside [{self.low}, {self.high}]"
+            )
+        return self.kind(value)
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        if self.kind is int:
+            return int(rng.integers(int(self.low), int(self.high) + 1))
+        return float(rng.uniform(self.low, self.high))
+
+
+class ProblemTemplate:
+    """An abstract problem: parameters + a builder producing concrete graphs."""
+
+    def __init__(
+        self,
+        name: str,
+        params: list[ParamSpec],
+        build: Callable[[Mapping[str, Any]], FlowGraph],
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.params = list(params)
+        self._build = build
+        self.description = description
+        names = [p.name for p in self.params]
+        if len(set(names)) != len(names):
+            raise DslError(f"template {name!r} has duplicate parameter names")
+
+    def _resolve(self, values: Mapping[str, Any]) -> dict[str, Any]:
+        known = {p.name for p in self.params}
+        unknown = set(values) - known
+        if unknown:
+            raise DslError(
+                f"template {self.name!r} got unknown parameters {sorted(unknown)}"
+            )
+        resolved: dict[str, Any] = {}
+        for spec in self.params:
+            if spec.name in values:
+                resolved[spec.name] = spec.validate(values[spec.name])
+            elif spec.default is not None:
+                resolved[spec.name] = spec.default
+            else:
+                raise DslError(
+                    f"template {self.name!r} missing parameter {spec.name!r}"
+                )
+        return resolved
+
+    def instantiate(self, **values: Any) -> FlowGraph:
+        """Concretize the template for the given parameter values."""
+        resolved = self._resolve(values)
+        graph = self._build(resolved)
+        graph.validate()
+        return graph
+
+    def sample_params(self, rng: np.random.Generator) -> dict[str, Any]:
+        """Draw a random parameter assignment within the declared ranges."""
+        return {spec.name: spec.sample(rng) for spec in self.params}
+
+    def sample_instance(self, rng: np.random.Generator) -> FlowGraph:
+        """Concretize at randomly sampled parameters (instance generator)."""
+        return self.instantiate(**self.sample_params(rng))
+
+    def __repr__(self) -> str:
+        params = ", ".join(p.name for p in self.params)
+        return f"ProblemTemplate({self.name!r}, params=[{params}])"
+
+
+@dataclass
+class GroupTracker:
+    """Helper for builders: remembers node names per group.
+
+    Domain builders use this to hand group listings (DEMANDS, PATHS, BALLS,
+    BINS, ...) to the explainer without re-querying metadata.
+    """
+
+    groups: dict[str, list[str]] = field(default_factory=dict)
+
+    def add(self, group: str, node_name: str) -> str:
+        self.groups.setdefault(group, []).append(node_name)
+        return node_name
+
+    def members(self, group: str) -> list[str]:
+        return list(self.groups.get(group, []))

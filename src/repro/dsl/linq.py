@@ -1,0 +1,148 @@
+"""LINQ-style query combinators.
+
+The paper's prototype embeds the DSL in a LINQ-style C# API (§5.1). These
+combinators are the Python analogue: lazily-chained ``where`` / ``select`` /
+``order_by`` / ``group_by`` pipelines over graph elements (or anything
+iterable). The explainer's summarizer and the generalizer's feature
+extraction are written against this API.
+
+Example::
+
+    pinnable = (
+        query(graph.nodes)
+        .where(lambda n: n.group() == "DEMANDS")
+        .where(lambda n: n.metadata.get("pinnable"))
+        .select(lambda n: n.name)
+        .to_list()
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K")
+
+
+class Query(Generic[T]):
+    """A lazily evaluated query over an iterable."""
+
+    def __init__(self, items: Iterable[T]) -> None:
+        self._items = items
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    # -- restriction ------------------------------------------------------
+    def where(self, predicate: Callable[[T], bool]) -> "Query[T]":
+        return Query(item for item in self._items if predicate(item))
+
+    def where_not(self, predicate: Callable[[T], bool]) -> "Query[T]":
+        return Query(item for item in self._items if not predicate(item))
+
+    def distinct(self, key: Callable[[T], Any] | None = None) -> "Query[T]":
+        def generate() -> Iterator[T]:
+            seen: set = set()
+            for item in self._items:
+                marker = key(item) if key else item
+                if marker not in seen:
+                    seen.add(marker)
+                    yield item
+
+        return Query(generate())
+
+    def take(self, count: int) -> "Query[T]":
+        def generate() -> Iterator[T]:
+            iterator = iter(self._items)
+            for _ in range(count):
+                try:
+                    yield next(iterator)
+                except StopIteration:
+                    return
+
+        return Query(generate())
+
+    def skip(self, count: int) -> "Query[T]":
+        def generate() -> Iterator[T]:
+            for i, item in enumerate(self._items):
+                if i >= count:
+                    yield item
+
+        return Query(generate())
+
+    # -- projection ------------------------------------------------------
+    def select(self, projector: Callable[[T], U]) -> "Query[U]":
+        return Query(projector(item) for item in self._items)
+
+    def select_many(self, projector: Callable[[T], Iterable[U]]) -> "Query[U]":
+        return Query(sub for item in self._items for sub in projector(item))
+
+    # -- ordering / grouping ------------------------------------------------
+    def order_by(
+        self, key: Callable[[T], Any], descending: bool = False
+    ) -> "Query[T]":
+        return Query(sorted(self._items, key=key, reverse=descending))
+
+    def group_by(self, key: Callable[[T], K]) -> dict[K, list[T]]:
+        groups: dict[K, list[T]] = {}
+        for item in self._items:
+            groups.setdefault(key(item), []).append(item)
+        return groups
+
+    # -- aggregation ------------------------------------------------------
+    def count(self, predicate: Callable[[T], bool] | None = None) -> int:
+        if predicate is None:
+            return sum(1 for _ in self._items)
+        return sum(1 for item in self._items if predicate(item))
+
+    def any(self, predicate: Callable[[T], bool] | None = None) -> bool:
+        if predicate is None:
+            return next(iter(self._items), None) is not None
+        return any(predicate(item) for item in self._items)
+
+    def all(self, predicate: Callable[[T], bool]) -> bool:
+        return all(predicate(item) for item in self._items)
+
+    def sum(self, selector: Callable[[T], float] | None = None) -> float:
+        if selector is None:
+            return sum(self._items)  # type: ignore[arg-type]
+        return sum(selector(item) for item in self._items)
+
+    def min_by(self, key: Callable[[T], Any]) -> T:
+        return min(self._items, key=key)
+
+    def max_by(self, key: Callable[[T], Any]) -> T:
+        return max(self._items, key=key)
+
+    def first(self, predicate: Callable[[T], bool] | None = None) -> T:
+        for item in self._items:
+            if predicate is None or predicate(item):
+                return item
+        raise ValueError("query produced no matching element")
+
+    def first_or_none(
+        self, predicate: Callable[[T], bool] | None = None
+    ) -> T | None:
+        for item in self._items:
+            if predicate is None or predicate(item):
+                return item
+        return None
+
+    # -- materialization ------------------------------------------------------
+    def to_list(self) -> list[T]:
+        return list(self._items)
+
+    def to_set(self) -> set[T]:
+        return set(self._items)
+
+    def to_dict(
+        self, key: Callable[[T], K], value: Callable[[T], U]
+    ) -> dict[K, U]:
+        return {key(item): value(item) for item in self._items}
+
+
+def query(items: Iterable[T]) -> Query[T]:
+    """Entry point: wrap any iterable in a :class:`Query`."""
+    return Query(items)

@@ -1,0 +1,222 @@
+"""Node behaviors of the XPlain DSL (paper §5.1 and Appendix A.1).
+
+A node may enforce *multiple* behaviors simultaneously (the paper's source
+nodes are "special cases of split or pick nodes"), so a :class:`Node` carries
+a frozen set of :class:`NodeKind` values rather than a single tag.
+
+The behaviors and their constraint semantics (emitted by the compiler):
+
+=============  ==============================================================
+SPLIT          flow conservation: sum(in) + supply == sum(out)
+PICK           flow conservation, but exactly one outgoing edge carries flow
+MULTIPLY       one in, one out; f_out == multiplier * f_in
+ALL_EQUAL      every incident edge carries the same flow
+COPY           every outgoing edge carries the *total* incoming flow
+SOURCE         produces traffic: a supply term (constant, free, or an
+               adversarial *input* with bounds)
+SINK           only incoming edges; measures performance as total inflow
+=============  ==============================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.exceptions import GraphValidationError
+
+
+class NodeKind(enum.Enum):
+    """The six node behaviors of Appendix A (plus COPY, the sugar of Fig. 7)."""
+
+    SPLIT = "split"
+    PICK = "pick"
+    MULTIPLY = "multiply"
+    ALL_EQUAL = "all_equal"
+    COPY = "copy"
+    SOURCE = "source"
+    SINK = "sink"
+
+
+#: Behaviors that define how flow moves through the node. A node has at most
+#: one of these; SOURCE/SINK combine with them.
+ROUTING_KINDS = frozenset(
+    {NodeKind.SPLIT, NodeKind.PICK, NodeKind.MULTIPLY, NodeKind.ALL_EQUAL, NodeKind.COPY}
+)
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Declares a source's supply as an adversarial *input* dimension.
+
+    Inputs are the outer variables of the analyzer (the demand vector for DP,
+    the ball sizes for VBP). ``lb``/``ub`` bound the input space the
+    adversarial subspace generator explores.
+    """
+
+    lb: float = 0.0
+    ub: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.lb > self.ub:
+            raise GraphValidationError(
+                f"input has empty range [{self.lb}, {self.ub}]"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.ub - self.lb
+
+
+@dataclass
+class Node:
+    """A named node with a set of behaviors and user metadata.
+
+    ``supply`` semantics (only meaningful for SOURCE nodes):
+
+    * ``float`` — constant production (the constant-rate edges of Fig. 8);
+    * ``InputSpec`` — an adversarial input variable (OuterVar in Fig. 1b);
+    * ``None`` — free supply, chosen by the optimization.
+
+    ``metadata`` is the user-provided annotation channel the paper calls out
+    ("Users can also add metadata to each node or edge, which we can use
+    later to improve the explanations we produce"). The explainer and
+    generalizer read well-known keys such as ``role`` and ``group``.
+    """
+
+    name: str
+    kinds: frozenset[NodeKind]
+    multiplier: float = 1.0
+    supply: float | InputSpec | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.kinds, frozenset):
+            self.kinds = frozenset(self.kinds)
+        routing = self.kinds & ROUTING_KINDS
+        if len(routing) > 1:
+            raise GraphValidationError(
+                f"node {self.name!r} mixes routing behaviors {sorted(k.value for k in routing)}"
+            )
+        if NodeKind.SINK in self.kinds and routing:
+            raise GraphValidationError(
+                f"sink node {self.name!r} cannot also route flow"
+            )
+        if self.supply is not None and NodeKind.SOURCE not in self.kinds:
+            raise GraphValidationError(
+                f"node {self.name!r} has a supply but is not a SOURCE"
+            )
+        if NodeKind.MULTIPLY in self.kinds and self.multiplier <= 0:
+            raise GraphValidationError(
+                f"multiply node {self.name!r} needs a positive multiplier, "
+                f"got {self.multiplier}"
+            )
+
+    # -- classification ------------------------------------------------------
+    @property
+    def is_source(self) -> bool:
+        return NodeKind.SOURCE in self.kinds
+
+    @property
+    def is_sink(self) -> bool:
+        return NodeKind.SINK in self.kinds
+
+    @property
+    def is_input(self) -> bool:
+        """Whether this source's supply is an adversarial input dimension."""
+        return isinstance(self.supply, InputSpec)
+
+    @property
+    def routing_kind(self) -> NodeKind | None:
+        """The single routing behavior, if any (SPLIT by default for sources)."""
+        routing = self.kinds & ROUTING_KINDS
+        if routing:
+            return next(iter(routing))
+        return None
+
+    def role(self) -> str:
+        """The user-declared semantic role (from metadata), or ''."""
+        return str(self.metadata.get("role", ""))
+
+    def group(self) -> str:
+        """The user-declared group (e.g. 'BALLS', 'DEMANDS'), or ''."""
+        return str(self.metadata.get("group", ""))
+
+    def __repr__(self) -> str:
+        kinds = "+".join(sorted(k.value for k in self.kinds))
+        return f"Node({self.name!r}, {kinds})"
+
+
+@dataclass
+class Edge:
+    """A directed edge carrying a non-negative flow variable.
+
+    ``capacity`` bounds the flow; ``fixed_rate`` pins it to a constant (the
+    constant-rate incoming edges split nodes may enforce, Appendix A.1).
+    """
+
+    src: str
+    dst: str
+    capacity: float | None = None
+    fixed_rate: float | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity is not None and self.capacity < 0:
+            raise GraphValidationError(
+                f"edge {self.key} has negative capacity {self.capacity}"
+            )
+        if self.fixed_rate is not None and self.fixed_rate < 0:
+            raise GraphValidationError(
+                f"edge {self.key} has negative fixed rate {self.fixed_rate}"
+            )
+        if (
+            self.capacity is not None
+            and self.fixed_rate is not None
+            and self.fixed_rate > self.capacity
+        ):
+            raise GraphValidationError(
+                f"edge {self.key} fixes rate {self.fixed_rate} above capacity "
+                f"{self.capacity}"
+            )
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.src, self.dst)
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}->{self.dst}"
+
+    def role(self) -> str:
+        return str(self.metadata.get("role", ""))
+
+    def __repr__(self) -> str:
+        extras = []
+        if self.capacity is not None:
+            extras.append(f"cap={self.capacity:g}")
+        if self.fixed_rate is not None:
+            extras.append(f"rate={self.fixed_rate:g}")
+        suffix = f" [{', '.join(extras)}]" if extras else ""
+        return f"Edge({self.src}->{self.dst}{suffix})"
+
+
+def make_node(
+    name: str,
+    *kinds: NodeKind | str,
+    multiplier: float = 1.0,
+    supply: float | InputSpec | None = None,
+    metadata: Mapping[str, Any] | None = None,
+) -> Node:
+    """Convenience constructor accepting behavior names as strings."""
+    resolved = frozenset(
+        k if isinstance(k, NodeKind) else NodeKind(k) for k in kinds
+    )
+    return Node(
+        name=name,
+        kinds=resolved,
+        multiplier=multiplier,
+        supply=supply,
+        metadata=dict(metadata or {}),
+    )

@@ -1,0 +1,61 @@
+"""Exception hierarchy for the XPlain reproduction.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package-level failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SolverError(ReproError):
+    """Base class for errors raised by the LP/MILP solver substrate."""
+
+
+class InfeasibleError(SolverError):
+    """The model has no feasible solution.
+
+    Raised only by APIs documented to raise on infeasibility; the solver's
+    ``solve`` entry points normally report infeasibility through the solution
+    status instead.
+    """
+
+
+class UnboundedError(SolverError):
+    """The model's objective is unbounded in the optimization direction."""
+
+
+class ModelError(SolverError):
+    """The model is malformed (e.g. a variable from another model was used)."""
+
+
+class DslError(ReproError):
+    """Base class for errors in the network-flow DSL."""
+
+
+class GraphValidationError(DslError):
+    """A flow graph violates a structural rule of its node behaviors."""
+
+
+class CompilerError(ReproError):
+    """The DSL-to-optimization compiler could not lower a construct."""
+
+
+class AnalyzerError(ReproError):
+    """The heuristic analyzer could not encode or solve an analysis."""
+
+
+class SubspaceError(ReproError):
+    """The adversarial subspace generator was configured inconsistently."""
+
+
+class ExplainError(ReproError):
+    """The explainer could not score or render a subspace."""
+
+
+class GeneralizeError(ReproError):
+    """The generalizer or instance generator hit an unusable configuration."""

@@ -1,0 +1,31 @@
+"""The Type-2 explainer (§5.3): edge scoring, heatmaps, narratives."""
+
+from repro.explain.heatmap import EdgeScore, Heatmap, build_heatmap
+from repro.explain.report import (
+    Divergence,
+    ExplanationReport,
+    explain_heatmap,
+)
+from repro.explain.scoring import FLOW_TOL, EdgeSample, score_sample
+from repro.explain.summarize import (
+    GroupSummary,
+    compression_ratio,
+    default_group_key,
+    summarize_heatmap,
+)
+
+__all__ = [
+    "Divergence",
+    "EdgeSample",
+    "EdgeScore",
+    "ExplanationReport",
+    "FLOW_TOL",
+    "GroupSummary",
+    "Heatmap",
+    "build_heatmap",
+    "compression_ratio",
+    "default_group_key",
+    "explain_heatmap",
+    "score_sample",
+    "summarize_heatmap",
+]

@@ -1,0 +1,64 @@
+"""Per-edge scoring of heuristic-vs-benchmark decisions (§5.3).
+
+"We run samples from within each contiguous subspace through the DSL and
+score edges based on if: (1) both the benchmark and the heuristic send flow
+on that edge (score = 0); (2) only the benchmark sends flow (score = 1);
+or (3) only the heuristic sends flow (score = -1)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analyzer.interface import EdgeFlows
+
+#: Flows below this are "no flow" for scoring purposes.
+FLOW_TOL = 1e-6
+
+EdgeKey = tuple[str, str]
+
+
+@dataclass
+class EdgeSample:
+    """One sample's usage of one edge."""
+
+    heuristic_flow: float
+    benchmark_flow: float
+
+    @property
+    def heuristic_uses(self) -> bool:
+        return self.heuristic_flow > FLOW_TOL
+
+    @property
+    def benchmark_uses(self) -> bool:
+        return self.benchmark_flow > FLOW_TOL
+
+    @property
+    def score(self) -> int:
+        """The paper's three-way score: 0 both / +1 benchmark-only / -1
+        heuristic-only (and 0 when neither uses the edge)."""
+        if self.heuristic_uses and self.benchmark_uses:
+            return 0
+        if self.benchmark_uses:
+            return 1
+        if self.heuristic_uses:
+            return -1
+        return 0
+
+    @property
+    def either_uses(self) -> bool:
+        return self.heuristic_uses or self.benchmark_uses
+
+
+def score_sample(
+    heuristic: EdgeFlows, benchmark: EdgeFlows
+) -> dict[EdgeKey, EdgeSample]:
+    """Score every edge that appears in either flow assignment."""
+    keys = set(heuristic) | set(benchmark)
+    return {
+        key: EdgeSample(
+            heuristic_flow=heuristic.get(key, 0.0),
+            benchmark_flow=benchmark.get(key, 0.0),
+        )
+        for key in keys
+    }

@@ -1,0 +1,89 @@
+"""Heatmap summarization for large instances (§5.3 open question).
+
+"As the instance size grows, the above heatmap may become harder to
+interpret. We need mechanisms that allow us to summarize the information in
+this heatmap in a way that the user can interpret." This module provides
+the grouping mechanism: edges are bucketed by a user key (defaulting to the
+metadata roles/groups the DSL carries) and each bucket reports aggregate
+scores. The T2SCALE benchmark measures the compression this buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.dsl.graph import FlowGraph
+from repro.explain.heatmap import EdgeScore, Heatmap
+
+
+@dataclass
+class GroupSummary:
+    """Aggregate of one edge bucket."""
+
+    key: str
+    mean_score: float
+    total_edges: int
+    divergent_edges: int
+    strongest: EdgeScore
+
+    def describe(self) -> str:
+        return (
+            f"{self.key}: mean score {self.mean_score:+.2f} over "
+            f"{self.total_edges} edges ({self.divergent_edges} divergent); "
+            f"strongest: {self.strongest.edge[0]} -> {self.strongest.edge[1]} "
+            f"({self.strongest.mean_score:+.2f})"
+        )
+
+
+def default_group_key(graph: FlowGraph) -> Callable[[EdgeScore], str]:
+    """Bucket edges by (src group/role) -> (dst group/role)."""
+
+    def key(score: EdgeScore) -> str:
+        src, dst = score.edge
+        def label(name: str) -> str:
+            if not graph.has_node(name):
+                return name
+            node = graph.node(name)
+            return node.group() or node.role() or name
+
+        return f"{label(src)} -> {label(dst)}"
+
+    return key
+
+
+def summarize_heatmap(
+    heatmap: Heatmap,
+    graph: FlowGraph,
+    key: Callable[[EdgeScore], str] | None = None,
+    cutoff: float = 0.2,
+) -> list[GroupSummary]:
+    """Group edge scores and rank groups by divergence."""
+    key = key or default_group_key(graph)
+    buckets: dict[str, list[EdgeScore]] = {}
+    for score in heatmap.used_edges():
+        buckets.setdefault(key(score), []).append(score)
+    summaries = []
+    for bucket_key, scores in buckets.items():
+        mean = float(np.mean([s.mean_score for s in scores]))
+        divergent = sum(1 for s in scores if abs(s.mean_score) >= cutoff)
+        strongest = max(scores, key=lambda s: abs(s.mean_score))
+        summaries.append(
+            GroupSummary(
+                key=bucket_key,
+                mean_score=mean,
+                total_edges=len(scores),
+                divergent_edges=divergent,
+                strongest=strongest,
+            )
+        )
+    summaries.sort(key=lambda s: -abs(s.mean_score))
+    return summaries
+
+
+def compression_ratio(heatmap: Heatmap, summaries: list[GroupSummary]) -> float:
+    """How much smaller the summary is than the raw heatmap (T2SCALE)."""
+    raw = max(1, len(heatmap.used_edges()))
+    return len(summaries) / raw

@@ -1,0 +1,138 @@
+"""The generalizer's predicate grammar (§5.4).
+
+The paper imagines "a grammar that uses the metadata the user provides
+through the DSL along with the network flow structure to describe trends",
+giving ``increasing(P)`` as the canonical example: *the gap is larger when
+the (size of) P is larger*. This module provides that grammar:
+
+* :class:`Increasing` / :class:`Decreasing` — monotone trend predicates;
+* :class:`ThresholdShift` — the gap changes regime across a feature value;
+* :class:`Clause` — a conjunction of supported predicates (what an
+  enumerative-synthesis search assembles, per the paper's open question).
+
+Predicates are *checked*, not assumed: each carries the statistical
+evidence collected over the instance generator's observations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.generalize.validate import (
+    MonotoneEvidence,
+    ThresholdEvidence,
+    monotone_test,
+    threshold_test,
+)
+
+
+class Predicate(Protocol):
+    """A checkable statement about a feature/gap relationship."""
+
+    feature: str
+
+    def check(self, values: np.ndarray, gaps: np.ndarray) -> "CheckedPredicate":
+        ...
+
+
+@dataclass
+class CheckedPredicate:
+    """A predicate together with its statistical evidence."""
+
+    statement: str
+    feature: str
+    p_value: float
+    strength: float  # |tau| for monotone, |mean shift| for thresholds
+    significant: bool
+    evidence: object
+
+    def describe(self) -> str:
+        marker = "supported" if self.significant else "unsupported"
+        return f"{self.statement}  [{marker}, p={self.p_value:.3g}]"
+
+
+@dataclass
+class Increasing:
+    """``increasing(P)``: bigger feature -> bigger gap (the paper's example)."""
+
+    feature: str
+
+    def check(self, values: np.ndarray, gaps: np.ndarray) -> CheckedPredicate:
+        evidence: MonotoneEvidence = monotone_test(values, gaps, "increasing")
+        return CheckedPredicate(
+            statement=f"increasing({self.feature})",
+            feature=self.feature,
+            p_value=evidence.p_value,
+            strength=abs(evidence.tau),
+            significant=evidence.significant,
+            evidence=evidence,
+        )
+
+
+@dataclass
+class Decreasing:
+    """``decreasing(P)``: bigger feature -> smaller gap."""
+
+    feature: str
+
+    def check(self, values: np.ndarray, gaps: np.ndarray) -> CheckedPredicate:
+        evidence: MonotoneEvidence = monotone_test(values, gaps, "decreasing")
+        return CheckedPredicate(
+            statement=f"decreasing({self.feature})",
+            feature=self.feature,
+            p_value=evidence.p_value,
+            strength=abs(evidence.tau),
+            significant=evidence.significant,
+            evidence=evidence,
+        )
+
+
+@dataclass
+class ThresholdShift:
+    """``shift(P)``: the gap regime changes across some feature threshold."""
+
+    feature: str
+
+    def check(self, values: np.ndarray, gaps: np.ndarray) -> CheckedPredicate:
+        evidence: ThresholdEvidence = threshold_test(values, gaps)
+        return CheckedPredicate(
+            statement=(
+                f"gap({self.feature} > {evidence.threshold:.4g}) "
+                f"{'>' if evidence.direction == 'above' else '<'} "
+                f"gap({self.feature} <= {evidence.threshold:.4g})"
+            ),
+            feature=self.feature,
+            p_value=evidence.p_value,
+            strength=abs(evidence.high_side_mean - evidence.low_side_mean),
+            significant=evidence.significant,
+            evidence=evidence,
+        )
+
+
+@dataclass
+class Clause:
+    """A conjunction of supported predicates — one Type-3 explanation."""
+
+    predicates: list[CheckedPredicate]
+
+    @property
+    def strength(self) -> float:
+        return float(np.mean([p.strength for p in self.predicates])) if self.predicates else 0.0
+
+    def describe(self) -> str:
+        if not self.predicates:
+            return "(no supported predicates)"
+        return " AND ".join(p.statement for p in self.predicates)
+
+
+def default_grammar(feature_names: list[str]) -> list[Predicate]:
+    """The default predicate pool: both monotone directions + threshold."""
+    grammar: list[Predicate] = []
+    for name in feature_names:
+        grammar.append(Increasing(name))
+        grammar.append(Decreasing(name))
+        grammar.append(ThresholdShift(name))
+    return grammar

@@ -1,0 +1,43 @@
+"""From-scratch LP/MILP solver substrate.
+
+The paper's prototype drives Gurobi through MetaOpt; this package replaces
+that proprietary layer with a complete, self-contained stack:
+
+* :mod:`repro.solver.expr` — variables, linear expressions, constraints;
+* :mod:`repro.solver.model` — the model container and backend dispatch;
+* :mod:`repro.solver.simplex` — two-phase primal simplex (dense tableau);
+* :mod:`repro.solver.branch_and_bound` — best-first MILP search;
+* :mod:`repro.solver.presolve` — redundancy elimination with recovery maps
+  (the engine behind the paper's compiled-DSL speedup claim);
+* :mod:`repro.solver.scipy_backend` — HiGHS via SciPy, used as the
+  cross-check oracle and the large-model fast path.
+"""
+
+from repro.solver.expr import (
+    Constraint,
+    LinExpr,
+    Relation,
+    Variable,
+    VarType,
+    quicksum,
+)
+from repro.solver.model import INF, Model
+from repro.solver.presolve import PresolveResult, presolve, solve_with_presolve
+from repro.solver.solution import Solution, SolveStats, SolveStatus
+
+__all__ = [
+    "Constraint",
+    "INF",
+    "LinExpr",
+    "Model",
+    "PresolveResult",
+    "Relation",
+    "Solution",
+    "SolveStats",
+    "SolveStatus",
+    "Variable",
+    "VarType",
+    "presolve",
+    "quicksum",
+    "solve_with_presolve",
+]

@@ -1,0 +1,351 @@
+"""Linear expressions over decision variables.
+
+This module provides the small algebraic layer every other subsystem builds
+on: :class:`Variable`, :class:`LinExpr` (an affine expression), and
+:class:`Constraint` (an expression compared against another expression).
+
+Expressions are immutable from the caller's point of view: arithmetic
+operators always return new objects, so expressions can be shared freely
+between constraints.
+
+Example
+-------
+>>> from repro.solver import Model
+>>> m = Model("demo", sense="max")
+>>> x = m.add_var("x", ub=4.0)
+>>> y = m.add_var("y", ub=4.0)
+>>> con = m.add_constraint(2 * x + y <= 6, name="cap")
+>>> m.set_objective(x + y)
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Iterable, Mapping, Union
+
+from repro.exceptions import ModelError
+
+Number = Union[int, float]
+
+#: Values closer together than this are treated as equal by expression code.
+EPS = 1e-9
+
+
+class VarType(enum.Enum):
+    """Domain of a decision variable."""
+
+    CONTINUOUS = "continuous"
+    BINARY = "binary"
+    INTEGER = "integer"
+
+    @property
+    def is_integral(self) -> bool:
+        """Whether the variable must take integer values."""
+        return self is not VarType.CONTINUOUS
+
+
+class Relation(enum.Enum):
+    """Comparison relation of a linear constraint."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+    def flipped(self) -> "Relation":
+        """Relation obtained by swapping the two sides of the comparison."""
+        if self is Relation.LE:
+            return Relation.GE
+        if self is Relation.GE:
+            return Relation.LE
+        return Relation.EQ
+
+
+class Variable:
+    """A decision variable owned by a :class:`~repro.solver.model.Model`.
+
+    Variables are created through ``Model.add_var`` and are identified by
+    their ``index`` within the owning model. Arithmetic on a variable
+    produces :class:`LinExpr` objects.
+    """
+
+    __slots__ = ("name", "index", "lb", "ub", "vartype", "_model_id")
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        lb: float,
+        ub: float,
+        vartype: VarType,
+        model_id: int,
+    ) -> None:
+        if lb > ub + EPS:
+            raise ModelError(
+                f"variable {name!r} has lb={lb} > ub={ub}"
+            )
+        self.name = name
+        self.index = index
+        self.lb = float(lb)
+        self.ub = float(ub)
+        self.vartype = vartype
+        self._model_id = model_id
+
+    # -- identity ---------------------------------------------------------
+    def __hash__(self) -> int:
+        return hash((self._model_id, self.index))
+
+    def __eq__(self, other: object):  # type: ignore[override]
+        # ``==`` against expressions/numbers builds a Constraint, mirroring
+        # the behaviour of mainstream modeling APIs. Identity comparison is
+        # available via ``is`` or ``same_var``.
+        if isinstance(other, (Variable, LinExpr, int, float)):
+            return LinExpr.from_term(self) == other
+        return NotImplemented
+
+    def same_var(self, other: "Variable") -> bool:
+        """True when ``other`` denotes this exact model variable."""
+        return (
+            isinstance(other, Variable)
+            and self._model_id == other._model_id
+            and self.index == other.index
+        )
+
+    # -- arithmetic (delegates to LinExpr) --------------------------------
+    def __add__(self, other):
+        return LinExpr.from_term(self) + other
+
+    def __radd__(self, other):
+        return LinExpr.from_term(self) + other
+
+    def __sub__(self, other):
+        return LinExpr.from_term(self) - other
+
+    def __rsub__(self, other):
+        return (-LinExpr.from_term(self)) + other
+
+    def __mul__(self, coeff):
+        return LinExpr.from_term(self, coeff)
+
+    def __rmul__(self, coeff):
+        return LinExpr.from_term(self, coeff)
+
+    def __truediv__(self, denom):
+        return LinExpr.from_term(self, 1.0 / float(denom))
+
+    def __neg__(self):
+        return LinExpr.from_term(self, -1.0)
+
+    def __pos__(self):
+        return LinExpr.from_term(self)
+
+    # -- comparisons (build constraints) -----------------------------------
+    def __le__(self, other):
+        return LinExpr.from_term(self) <= other
+
+    def __ge__(self, other):
+        return LinExpr.from_term(self) >= other
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+
+class LinExpr:
+    """An affine expression ``sum(coeff_i * var_i) + constant``.
+
+    The representation is a mapping from :class:`Variable` to coefficient
+    plus a float constant. Terms with coefficient ~0 are dropped eagerly so
+    that two expressions that are mathematically equal compare structurally
+    equal as well.
+    """
+
+    __slots__ = ("terms", "constant")
+
+    def __init__(
+        self,
+        terms: Mapping[Variable, float] | None = None,
+        constant: float = 0.0,
+    ) -> None:
+        clean: dict[Variable, float] = {}
+        if terms:
+            for var, coeff in terms.items():
+                coeff = float(coeff)
+                if not math.isfinite(coeff):
+                    raise ModelError(
+                        f"non-finite coefficient {coeff} for {var.name!r}"
+                    )
+                if abs(coeff) > EPS:
+                    clean[var] = coeff
+        self.terms = clean
+        self.constant = float(constant)
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def from_term(var: Variable, coeff: Number = 1.0) -> "LinExpr":
+        """Expression consisting of a single scaled variable."""
+        return LinExpr({var: float(coeff)})
+
+    @staticmethod
+    def constant_expr(value: Number) -> "LinExpr":
+        """Expression with no variables."""
+        return LinExpr({}, float(value))
+
+    @staticmethod
+    def coerce(value: "LinExpr | Variable | Number") -> "LinExpr":
+        """Convert a variable or number into a :class:`LinExpr`."""
+        if isinstance(value, LinExpr):
+            return value
+        if isinstance(value, Variable):
+            return LinExpr.from_term(value)
+        if isinstance(value, (int, float)):
+            return LinExpr.constant_expr(value)
+        raise ModelError(f"cannot interpret {value!r} as a linear expression")
+
+    # -- queries -----------------------------------------------------------
+    def coefficient(self, var: Variable) -> float:
+        """Coefficient of ``var`` (0.0 when absent)."""
+        return self.terms.get(var, 0.0)
+
+    @property
+    def is_constant(self) -> bool:
+        """Whether the expression involves no variables."""
+        return not self.terms
+
+    def variables(self) -> list[Variable]:
+        """Variables appearing with a non-zero coefficient."""
+        return list(self.terms)
+
+    def evaluate(self, values: Mapping[Variable, float]) -> float:
+        """Value of the expression under a variable assignment.
+
+        Raises ``KeyError`` if a participating variable is missing from
+        ``values``.
+        """
+        total = self.constant
+        for var, coeff in self.terms.items():
+            total += coeff * values[var]
+        return total
+
+    # -- arithmetic ----------------------------------------------------------
+    def _combined(self, other, sign: float) -> "LinExpr":
+        other = LinExpr.coerce(other)
+        terms = dict(self.terms)
+        for var, coeff in other.terms.items():
+            terms[var] = terms.get(var, 0.0) + sign * coeff
+        return LinExpr(terms, self.constant + sign * other.constant)
+
+    def __add__(self, other):
+        return self._combined(other, 1.0)
+
+    def __radd__(self, other):
+        return self._combined(other, 1.0)
+
+    def __sub__(self, other):
+        return self._combined(other, -1.0)
+
+    def __rsub__(self, other):
+        return (-self)._combined(other, 1.0)
+
+    def __mul__(self, factor):
+        if not isinstance(factor, (int, float)):
+            raise ModelError("expressions can only be scaled by numbers")
+        factor = float(factor)
+        return LinExpr(
+            {var: coeff * factor for var, coeff in self.terms.items()},
+            self.constant * factor,
+        )
+
+    def __rmul__(self, factor):
+        return self.__mul__(factor)
+
+    def __truediv__(self, denom):
+        return self.__mul__(1.0 / float(denom))
+
+    def __neg__(self):
+        return self.__mul__(-1.0)
+
+    def __pos__(self):
+        return self
+
+    # -- comparisons ---------------------------------------------------------
+    def __le__(self, other) -> "Constraint":
+        return Constraint(self - LinExpr.coerce(other), Relation.LE)
+
+    def __ge__(self, other) -> "Constraint":
+        return Constraint(self - LinExpr.coerce(other), Relation.GE)
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, (LinExpr, Variable, int, float)):
+            return Constraint(self - LinExpr.coerce(other), Relation.EQ)
+        return NotImplemented
+
+    def __hash__(self) -> int:  # expressions are used in sets occasionally
+        return hash(
+            (frozenset((v.index, c) for v, c in self.terms.items()), self.constant)
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        for var, coeff in sorted(self.terms.items(), key=lambda t: t[0].index):
+            parts.append(f"{coeff:+g}*{var.name}")
+        if abs(self.constant) > EPS or not parts:
+            parts.append(f"{self.constant:+g}")
+        return " ".join(parts)
+
+
+class Constraint:
+    """A linear constraint ``expr (<= | >= | ==) 0``.
+
+    Constraints are normalized on construction so that the right-hand side
+    is folded into the expression's constant. ``lhs rel rhs`` is stored as
+    ``(lhs - rhs) rel 0``.
+    """
+
+    __slots__ = ("expr", "relation", "name")
+
+    def __init__(self, expr: LinExpr, relation: Relation, name: str = "") -> None:
+        self.expr = expr
+        self.relation = relation
+        self.name = name
+
+    @property
+    def rhs(self) -> float:
+        """Right-hand side when written as ``terms rel rhs``."""
+        return -self.expr.constant
+
+    def violation(self, values: Mapping[Variable, float]) -> float:
+        """Non-negative amount by which the assignment violates the constraint."""
+        value = self.expr.evaluate(values)
+        if self.relation is Relation.LE:
+            return max(0.0, value)
+        if self.relation is Relation.GE:
+            return max(0.0, -value)
+        return abs(value)
+
+    def is_satisfied(
+        self, values: Mapping[Variable, float], tol: float = 1e-7
+    ) -> bool:
+        """Whether the assignment satisfies the constraint within ``tol``."""
+        return self.violation(values) <= tol
+
+    def __repr__(self) -> str:
+        label = f"{self.name}: " if self.name else ""
+        terms = LinExpr(self.expr.terms)
+        return f"{label}{terms!r} {self.relation.value} {self.rhs:g}"
+
+
+def quicksum(exprs: Iterable[LinExpr | Variable | Number]) -> LinExpr:
+    """Sum an iterable of expressions efficiently.
+
+    Unlike ``sum``, this builds a single term dictionary instead of a chain
+    of intermediate expressions, which matters when summing thousands of
+    flow variables in compiled models.
+    """
+    terms: dict[Variable, float] = {}
+    constant = 0.0
+    for item in exprs:
+        expr = LinExpr.coerce(item)
+        constant += expr.constant
+        for var, coeff in expr.terms.items():
+            terms[var] = terms.get(var, 0.0) + coeff
+    return LinExpr(terms, constant)

@@ -1,0 +1,103 @@
+"""SciPy (HiGHS) backend.
+
+Used two ways: as the fast path for large compiled models (``backend="auto"``
+switches over above a size threshold) and as an independent oracle that the
+test suite cross-checks the from-scratch simplex/branch-and-bound against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import optimize, sparse
+
+from repro.solver.model import Model
+from repro.solver.solution import Solution, SolveStats, SolveStatus
+
+
+def _status_from_linprog(status_code: int) -> SolveStatus:
+    return {
+        0: SolveStatus.OPTIMAL,
+        1: SolveStatus.ITERATION_LIMIT,
+        2: SolveStatus.INFEASIBLE,
+        3: SolveStatus.UNBOUNDED,
+    }.get(status_code, SolveStatus.ERROR)
+
+
+def _status_from_milp(status_code: int) -> SolveStatus:
+    return {
+        0: SolveStatus.OPTIMAL,
+        1: SolveStatus.ITERATION_LIMIT,
+        2: SolveStatus.INFEASIBLE,
+        3: SolveStatus.UNBOUNDED,
+        4: SolveStatus.NODE_LIMIT,
+    }.get(status_code, SolveStatus.ERROR)
+
+
+def solve_scipy(model: Model, time_limit: float | None = None) -> Solution:
+    """Solve ``model`` with ``scipy.optimize.linprog`` or ``milp``."""
+    mf = model.to_matrix_form()
+    n = len(mf.variables)
+    bounds_lb = mf.lb.copy()
+    bounds_ub = mf.ub.copy()
+
+    if model.is_mip:
+        constraints = []
+        if mf.a_ub.shape[0]:
+            constraints.append(
+                optimize.LinearConstraint(
+                    sparse.csr_matrix(mf.a_ub), -np.inf, mf.b_ub
+                )
+            )
+        if mf.a_eq.shape[0]:
+            constraints.append(
+                optimize.LinearConstraint(
+                    sparse.csr_matrix(mf.a_eq), mf.b_eq, mf.b_eq
+                )
+            )
+        options = {}
+        if time_limit is not None:
+            options["time_limit"] = time_limit
+        result = optimize.milp(
+            c=mf.c,
+            constraints=constraints,
+            bounds=optimize.Bounds(bounds_lb, bounds_ub),
+            integrality=mf.integrality,
+            options=options,
+        )
+        status = _status_from_milp(result.status)
+        stats = SolveStats(
+            nodes=int(getattr(result, "mip_node_count", 0) or 0),
+            backend="scipy",
+        )
+        if result.x is None:
+            return Solution(status=status, stats=stats)
+        x = np.asarray(result.x, dtype=float)
+        int_idx = np.where(mf.integrality == 1)[0]
+        x[int_idx] = np.round(x[int_idx])
+        values = {var: float(x[i]) for i, var in enumerate(mf.variables)}
+        objective = mf.objective_sign * (float(mf.c @ x) + mf.c0)
+        return Solution(
+            status=status, objective=objective, values=values, stats=stats
+        )
+
+    result = optimize.linprog(
+        c=mf.c,
+        A_ub=mf.a_ub if mf.a_ub.shape[0] else None,
+        b_ub=mf.b_ub if mf.b_ub.shape[0] else None,
+        A_eq=mf.a_eq if mf.a_eq.shape[0] else None,
+        b_eq=mf.b_eq if mf.b_eq.shape[0] else None,
+        bounds=np.column_stack([bounds_lb, bounds_ub]),
+        method="highs",
+    )
+    status = _status_from_linprog(result.status)
+    stats = SolveStats(
+        iterations=int(getattr(result, "nit", 0) or 0), backend="scipy"
+    )
+    if result.x is None:
+        return Solution(status=status, stats=stats)
+    x = np.asarray(result.x, dtype=float)
+    values = {var: float(x[i]) for i, var in enumerate(mf.variables)}
+    objective = mf.objective_sign * (float(mf.c @ x) + mf.c0)
+    return Solution(
+        status=status, objective=objective, values=values, stats=stats
+    )

@@ -1,0 +1,221 @@
+"""Two-phase primal simplex on a dense tableau.
+
+This is the from-scratch LP engine of the reproduction (the paper's stack
+uses Gurobi through MetaOpt; see DESIGN.md for the substitution note). It is
+deliberately a classic textbook implementation:
+
+* phase 1 drives artificial variables out of the basis to find a basic
+  feasible solution (or proves infeasibility);
+* phase 2 optimizes the true objective;
+* pivoting uses Dantzig's rule with an automatic switch to Bland's rule
+  after a stall, which guarantees termination.
+
+Dense tableaus are perfectly adequate at the scale of the paper's examples
+(tens to a few hundred variables); the SciPy backend covers anything larger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.solver.model import Model
+from repro.solver.solution import Solution, SolveStats, SolveStatus
+from repro.solver.standard_form import StandardForm, to_standard_form
+
+#: Feasibility / optimality tolerance of the tableau arithmetic.
+TOL = 1e-9
+
+#: After this many Dantzig pivots without objective progress we switch to
+#: Bland's rule, which cannot cycle.
+STALL_LIMIT = 64
+
+#: Hard cap on pivots, scaled by problem size at runtime.
+MAX_ITER_FACTOR = 200
+
+
+@dataclass
+class _TableauResult:
+    status: SolveStatus
+    y: np.ndarray | None
+    objective: float
+    iterations: int
+
+
+def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
+    """Gauss-Jordan pivot of the tableau on (row, col), in place."""
+    tableau[row] /= tableau[row, col]
+    pivot_row = tableau[row]
+    for r in range(tableau.shape[0]):
+        if r != row and tableau[r, col] != 0.0:
+            tableau[r] -= tableau[r, col] * pivot_row
+
+
+def _choose_entering(
+    costs: np.ndarray, allowed: np.ndarray, bland: bool
+) -> int | None:
+    """Index of the entering column, or None when optimal."""
+    candidates = np.where(allowed & (costs < -TOL))[0]
+    if candidates.size == 0:
+        return None
+    if bland:
+        return int(candidates[0])
+    return int(candidates[np.argmin(costs[candidates])])
+
+
+def _choose_leaving(
+    tableau: np.ndarray, col: int, basis: list[int], bland: bool
+) -> int | None:
+    """Row index of the leaving variable via the minimum-ratio test."""
+    m = tableau.shape[0] - 1
+    column = tableau[:m, col]
+    rhs = tableau[:m, -1]
+    eligible = column > TOL
+    if not np.any(eligible):
+        return None  # unbounded direction
+    ratios = np.full(m, np.inf)
+    ratios[eligible] = rhs[eligible] / column[eligible]
+    best = ratios.min()
+    ties = np.where(np.isclose(ratios, best, rtol=0.0, atol=1e-12))[0]
+    if bland and ties.size > 1:
+        # Bland: among tied rows, leave the one whose basic var has min index.
+        return int(min(ties, key=lambda r: basis[r]))
+    return int(ties[0])
+
+
+def _run_simplex(
+    tableau: np.ndarray,
+    basis: list[int],
+    allowed: np.ndarray,
+    max_iter: int,
+) -> _TableauResult:
+    """Optimize the tableau in place; returns status and iteration count."""
+    iterations = 0
+    stall = 0
+    bland = False
+    last_obj = tableau[-1, -1]
+    while iterations < max_iter:
+        entering = _choose_entering(tableau[-1, :-1], allowed, bland)
+        if entering is None:
+            return _TableauResult(
+                SolveStatus.OPTIMAL, None, -tableau[-1, -1], iterations
+            )
+        leaving = _choose_leaving(tableau, entering, basis, bland)
+        if leaving is None:
+            return _TableauResult(
+                SolveStatus.UNBOUNDED, None, float("-inf"), iterations
+            )
+        _pivot(tableau, leaving, entering)
+        basis[leaving] = entering
+        iterations += 1
+        obj = tableau[-1, -1]
+        if abs(obj - last_obj) <= TOL:
+            stall += 1
+            if stall >= STALL_LIMIT:
+                bland = True
+        else:
+            stall = 0
+            bland = False
+        last_obj = obj
+    return _TableauResult(
+        SolveStatus.ITERATION_LIMIT, None, -tableau[-1, -1], iterations
+    )
+
+
+def _extract_solution(tableau: np.ndarray, basis: list[int], n: int) -> np.ndarray:
+    y = np.zeros(n)
+    rhs = tableau[:-1, -1]
+    for row, col in enumerate(basis):
+        if col < n:
+            y[col] = rhs[row]
+    return y
+
+
+def solve_standard_form(sf: StandardForm, max_iter: int | None = None) -> _TableauResult:
+    """Solve a standard-form LP, returning y-space results."""
+    a, b, c = sf.a, sf.b, sf.c
+    m, n = a.shape
+    if max_iter is None:
+        max_iter = MAX_ITER_FACTOR * max(m + n, 32)
+
+    if m == 0:
+        # No constraints at all: optimum is 0 if c >= 0 (all y at bound 0),
+        # otherwise unbounded below.
+        if np.any(c < -TOL):
+            return _TableauResult(SolveStatus.UNBOUNDED, None, float("-inf"), 0)
+        return _TableauResult(SolveStatus.OPTIMAL, np.zeros(n), 0.0, 0)
+
+    # ---- phase 1: artificial basis -------------------------------------
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = a
+    tableau[:m, n : n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    # Phase-1 objective: minimize the sum of artificials. Express the reduced
+    # costs by subtracting each constraint row from the cost row.
+    tableau[-1, :n] = -a.sum(axis=0)
+    tableau[-1, -1] = -b.sum()
+    basis = list(range(n, n + m))
+    allowed = np.ones(n + m, dtype=bool)
+
+    phase1 = _run_simplex(tableau, basis, allowed, max_iter)
+    iterations = phase1.iterations
+    if phase1.status is SolveStatus.ITERATION_LIMIT:
+        return _TableauResult(SolveStatus.ITERATION_LIMIT, None, 0.0, iterations)
+    if phase1.objective < -1e-7 or tableau[-1, -1] < -1e-7:
+        # Residual artificial infeasibility.
+        return _TableauResult(SolveStatus.INFEASIBLE, None, 0.0, iterations)
+
+    # Drive any artificial variables remaining in the basis at level ~0 out.
+    for row in range(m):
+        if basis[row] >= n:
+            pivot_col = None
+            for col in range(n):
+                if abs(tableau[row, col]) > 1e-7:
+                    pivot_col = col
+                    break
+            if pivot_col is not None:
+                _pivot(tableau, row, pivot_col)
+                basis[row] = pivot_col
+            # else: the row is all-zero over structurals (redundant row);
+            # the artificial stays basic at value 0, which is harmless.
+
+    # ---- phase 2: true objective ----------------------------------------
+    tableau[-1, :] = 0.0
+    tableau[-1, :n] = c
+    # Express reduced costs w.r.t. the current basis.
+    for row, col in enumerate(basis):
+        if col < n and tableau[-1, col] != 0.0:
+            tableau[-1] -= tableau[-1, col] * tableau[row]
+    allowed = np.zeros(n + m, dtype=bool)
+    allowed[:n] = True  # artificials are never re-admitted
+
+    phase2 = _run_simplex(tableau, basis, allowed, max_iter)
+    iterations += phase2.iterations
+    if phase2.status is not SolveStatus.OPTIMAL:
+        return _TableauResult(phase2.status, None, phase2.objective, iterations)
+
+    y = _extract_solution(tableau, basis, n)
+    objective = float(c @ y)
+    return _TableauResult(SolveStatus.OPTIMAL, y, objective, iterations)
+
+
+def solve_lp(model: Model) -> Solution:
+    """Solve a continuous model with the two-phase simplex."""
+    sf = to_standard_form(model)
+    result = solve_standard_form(sf)
+    stats = SolveStats(iterations=result.iterations, backend="simplex")
+    if result.status is not SolveStatus.OPTIMAL:
+        return Solution(status=result.status, stats=stats)
+
+    x = sf.recover(result.y)
+    values = {var: float(x[i]) for i, var in enumerate(model.variables)}
+    mf_sign = 1.0 if model.sense == "min" else -1.0
+    # result.objective is the minimized standard-form objective (without c0).
+    objective = mf_sign * (result.objective + sf.c0)
+    return Solution(
+        status=SolveStatus.OPTIMAL,
+        objective=objective,
+        values=values,
+        stats=stats,
+    )

@@ -1,0 +1,80 @@
+"""Solution objects returned by the solver backends."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.solver.expr import LinExpr, Variable
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NODE_LIMIT = "node_limit"
+    ERROR = "error"
+
+    @property
+    def is_optimal(self) -> bool:
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class SolveStats:
+    """Work counters reported by the backends.
+
+    Not every backend fills every field; SciPy, for example, does not report
+    simplex iterations for its interior-point paths.
+    """
+
+    iterations: int = 0
+    nodes: int = 0
+    runtime_seconds: float = 0.0
+    backend: str = ""
+    presolve_removed_vars: int = 0
+    presolve_removed_constraints: int = 0
+
+
+@dataclass
+class Solution:
+    """Result of solving a model.
+
+    ``values`` maps every model variable to its value when the status is
+    OPTIMAL (and to a best-effort incumbent for NODE_LIMIT); it is empty for
+    infeasible/unbounded outcomes.
+    """
+
+    status: SolveStatus
+    objective: float | None = None
+    values: Mapping["Variable", float] = field(default_factory=dict)
+    stats: SolveStats = field(default_factory=SolveStats)
+
+    def __getitem__(self, var: "Variable") -> float:
+        return self.values[var]
+
+    def value(self, expr: "LinExpr | Variable") -> float:
+        """Evaluate an expression (or variable) under this solution."""
+        from repro.solver.expr import LinExpr
+
+        return LinExpr.coerce(expr).evaluate(self.values)
+
+    def value_by_name(self, name: str) -> float:
+        """Look a variable's value up by name (linear scan; test helper)."""
+        for var, val in self.values.items():
+            if var.name == name:
+                return val
+        raise KeyError(name)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status.is_optimal
+
+    def __repr__(self) -> str:
+        obj = "None" if self.objective is None else f"{self.objective:.6g}"
+        return f"Solution(status={self.status.value}, objective={obj})"

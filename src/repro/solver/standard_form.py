@@ -1,0 +1,180 @@
+"""Conversion of a model to LP standard form.
+
+Standard form here means::
+
+    minimize    c @ y
+    subject to  A @ y == b,   y >= 0
+
+which is what the tableau simplex consumes. The conversion:
+
+* shifts variables with a finite lower bound (``x = y + lb``),
+* splits free variables into a difference of two non-negatives,
+* turns finite upper bounds into explicit rows,
+* adds one slack variable per inequality row.
+
+The returned :class:`StandardForm` remembers enough to map a solution in
+``y``-space back onto the original model variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.solver.model import INF, MatrixForm, Model
+
+
+@dataclass
+class _VarMap:
+    """How one original variable is represented in standard form.
+
+    ``positive`` is the y-index of the shifted variable (or the positive part
+    of a free split); ``negative`` is the y-index of the negative part for
+    free variables, else ``None``; ``shift`` is the lower bound that was
+    subtracted.
+    """
+
+    positive: int
+    negative: int | None
+    shift: float
+
+
+@dataclass
+class StandardForm:
+    """Matrices of the standard-form LP plus the recovery mapping."""
+
+    a: np.ndarray
+    b: np.ndarray
+    c: np.ndarray
+    c0: float
+    var_maps: list[_VarMap]
+    num_structural: int  # y-columns that correspond to original variables
+
+    def recover(self, y: np.ndarray) -> np.ndarray:
+        """Map a standard-form solution back to original variable values."""
+        values = np.empty(len(self.var_maps))
+        for i, vm in enumerate(self.var_maps):
+            val = y[vm.positive]
+            if vm.negative is not None:
+                val -= y[vm.negative]
+            values[i] = val + vm.shift
+        return values
+
+
+def to_standard_form(model: Model) -> StandardForm:
+    """Convert ``model`` (ignoring integrality) to standard form."""
+    return from_matrix_form(model.to_matrix_form())
+
+
+def from_matrix_form(mf: MatrixForm) -> StandardForm:
+    """Standard-form conversion working directly on matrix data.
+
+    Branch-and-bound uses this entry point so it can tighten bounds without
+    rebuilding ``Model`` objects.
+    """
+    n = len(mf.variables)
+    var_maps: list[_VarMap] = []
+    col = 0
+    # First pass: decide the column layout for original variables.
+    for i in range(n):
+        lb = mf.lb[i]
+        if lb == -INF:
+            var_maps.append(_VarMap(positive=col, negative=col + 1, shift=0.0))
+            col += 2
+        else:
+            var_maps.append(_VarMap(positive=col, negative=None, shift=lb))
+            col += 1
+    num_structural = col
+
+    def expand_row(row: np.ndarray) -> tuple[np.ndarray, float]:
+        """Rewrite a row over x into a row over y, returning the rhs shift."""
+        out = np.zeros(num_structural)
+        shift = 0.0
+        for i in range(n):
+            coeff = row[i]
+            if coeff == 0.0:
+                continue
+            vm = var_maps[i]
+            out[vm.positive] += coeff
+            if vm.negative is not None:
+                out[vm.negative] -= coeff
+            shift += coeff * vm.shift
+        return out, shift
+
+    ub_rows: list[np.ndarray] = []
+    ub_rhs: list[float] = []
+    for r in range(mf.a_ub.shape[0]):
+        row, shift = expand_row(mf.a_ub[r])
+        ub_rows.append(row)
+        ub_rhs.append(mf.b_ub[r] - shift)
+    # Finite upper bounds become inequality rows over y.
+    for i in range(n):
+        ub = mf.ub[i]
+        if ub == INF:
+            continue
+        lb = mf.lb[i]
+        if lb == -INF:
+            vm = var_maps[i]
+            row = np.zeros(num_structural)
+            row[vm.positive] = 1.0
+            row[vm.negative] = -1.0  # type: ignore[index]
+            ub_rows.append(row)
+            ub_rhs.append(ub)
+        else:
+            if ub < lb:
+                raise ModelError(
+                    f"variable {mf.variables[i].name!r} has empty domain"
+                )
+            vm = var_maps[i]
+            row = np.zeros(num_structural)
+            row[vm.positive] = 1.0
+            ub_rows.append(row)
+            ub_rhs.append(ub - lb)
+
+    eq_rows: list[np.ndarray] = []
+    eq_rhs: list[float] = []
+    for r in range(mf.a_eq.shape[0]):
+        row, shift = expand_row(mf.a_eq[r])
+        eq_rows.append(row)
+        eq_rhs.append(mf.b_eq[r] - shift)
+
+    num_slack = len(ub_rows)
+    total = num_structural + num_slack
+    m = num_slack + len(eq_rows)
+    a = np.zeros((m, total))
+    b = np.zeros(m)
+    for r, (row, rhs) in enumerate(zip(ub_rows, ub_rhs)):
+        a[r, :num_structural] = row
+        a[r, num_structural + r] = 1.0
+        b[r] = rhs
+    for r, (row, rhs) in enumerate(zip(eq_rows, eq_rhs)):
+        a[num_slack + r, :num_structural] = row
+        b[num_slack + r] = rhs
+
+    c = np.zeros(total)
+    c0 = mf.c0
+    for i in range(n):
+        coeff = mf.c[i]
+        if coeff == 0.0:
+            continue
+        vm = var_maps[i]
+        c[vm.positive] += coeff
+        if vm.negative is not None:
+            c[vm.negative] -= coeff
+        c0 += coeff * vm.shift
+
+    # Normalize to b >= 0 so phase 1 can start from the artificial basis.
+    neg = b < 0
+    a[neg] *= -1.0
+    b[neg] *= -1.0
+
+    return StandardForm(
+        a=a,
+        b=b,
+        c=c,
+        c0=c0,
+        var_maps=var_maps,
+        num_structural=num_structural,
+    )

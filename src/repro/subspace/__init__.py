@@ -1,0 +1,53 @@
+"""The adversarial subspace generator and significance checker (§5.2)."""
+
+from repro.subspace.generator import (
+    AdversarialSubspaceGenerator,
+    GeneratorConfig,
+    GeneratorReport,
+    Subspace,
+)
+from repro.subspace.region import Box, Halfspace, Region
+from repro.subspace.sampler import (
+    SampleSet,
+    dkw_sample_size,
+    sample_in_box,
+    sample_in_shell,
+)
+from repro.subspace.significance import (
+    ALPHA,
+    SignificanceResult,
+    wilcoxon_signed_rank,
+)
+from repro.subspace.slices import (
+    ExpansionConfig,
+    ExpansionResult,
+    expand_around,
+)
+from repro.subspace.tree import (
+    RegressionTree,
+    TreePredicate,
+    path_to_halfspaces,
+)
+
+__all__ = [
+    "ALPHA",
+    "AdversarialSubspaceGenerator",
+    "Box",
+    "ExpansionConfig",
+    "ExpansionResult",
+    "GeneratorConfig",
+    "GeneratorReport",
+    "Halfspace",
+    "Region",
+    "RegressionTree",
+    "SampleSet",
+    "SignificanceResult",
+    "Subspace",
+    "TreePredicate",
+    "dkw_sample_size",
+    "expand_around",
+    "path_to_halfspaces",
+    "sample_in_box",
+    "sample_in_shell",
+    "wilcoxon_signed_rank",
+]

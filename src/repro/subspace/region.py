@@ -1,0 +1,238 @@
+"""Region algebra for adversarial subspaces (paper Fig. 5c).
+
+A subspace is reported exactly in the paper's algebraic form::
+
+    D_i = { X in R+^n :  A X <= C_i  (the rough box)
+                         T_i X <= V_i (the regression-tree path) }
+
+with ``A = [I; -I]`` encoding the box. :class:`Box` is the rough cube the
+slice expansion finds; :class:`Halfspace` rows come from the tree-path
+predicates; :class:`Region` is their intersection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SubspaceError
+
+
+@dataclass(frozen=True)
+class Box:
+    """An axis-aligned box (the "rough subspace" of §5.2)."""
+
+    lo: tuple[float, ...]
+    hi: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.lo) != len(self.hi):
+            raise SubspaceError("box bounds have mismatched dimensions")
+        for a, b in zip(self.lo, self.hi):
+            if a > b:
+                raise SubspaceError(f"box has empty side [{a}, {b}]")
+
+    @staticmethod
+    def from_arrays(lo: np.ndarray, hi: np.ndarray) -> "Box":
+        return Box(tuple(float(v) for v in lo), tuple(float(v) for v in hi))
+
+    @staticmethod
+    def around(
+        center: np.ndarray,
+        half_width: float | np.ndarray,
+        bounds: "Box" | None = None,
+    ) -> "Box":
+        """Cube of the given half-width centered on a point, clipped to bounds."""
+        center = np.asarray(center, dtype=float)
+        hw = np.broadcast_to(np.asarray(half_width, dtype=float), center.shape)
+        lo = center - hw
+        hi = center + hw
+        if bounds is not None:
+            lo = np.maximum(lo, bounds.lo_array)
+            hi = np.minimum(hi, bounds.hi_array)
+        return Box.from_arrays(lo, hi)
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def lo_array(self) -> np.ndarray:
+        return np.array(self.lo)
+
+    @property
+    def hi_array(self) -> np.ndarray:
+        return np.array(self.hi)
+
+    @property
+    def widths(self) -> np.ndarray:
+        return self.hi_array - self.lo_array
+
+    @property
+    def center(self) -> np.ndarray:
+        return (self.lo_array + self.hi_array) / 2.0
+
+    def volume(self) -> float:
+        return float(np.prod(self.widths))
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        x = np.asarray(x, dtype=float)
+        return bool(
+            np.all(x >= self.lo_array - tol) and np.all(x <= self.hi_array + tol)
+        )
+
+    def contains_many(self, xs: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        return np.all(
+            (xs >= self.lo_array - tol) & (xs <= self.hi_array + tol), axis=1
+        )
+
+    def sample(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Uniform samples, shape (count, dim)."""
+        return rng.uniform(self.lo_array, self.hi_array, size=(count, self.dim))
+
+    # -- surgery ------------------------------------------------------------
+    def expanded(
+        self, dim: int, direction: int, amount: float, bounds: "Box" | None = None
+    ) -> "Box":
+        """Grow one face: direction -1 grows lo downward, +1 grows hi upward."""
+        lo = self.lo_array
+        hi = self.hi_array
+        if direction < 0:
+            lo = lo.copy()
+            lo[dim] -= amount
+            if bounds is not None:
+                lo[dim] = max(lo[dim], bounds.lo[dim])
+        else:
+            hi = hi.copy()
+            hi[dim] += amount
+            if bounds is not None:
+                hi[dim] = min(hi[dim], bounds.hi[dim])
+        return Box.from_arrays(lo, hi)
+
+    def intersect(self, other: "Box") -> "Box | None":
+        lo = np.maximum(self.lo_array, other.lo_array)
+        hi = np.minimum(self.hi_array, other.hi_array)
+        if np.any(lo > hi):
+            return None
+        return Box.from_arrays(lo, hi)
+
+    def overlaps(self, other: "Box") -> bool:
+        return self.intersect(other) is not None
+
+    def clip_point(self, x: np.ndarray) -> np.ndarray:
+        return np.clip(np.asarray(x, dtype=float), self.lo_array, self.hi_array)
+
+    def describe(self, names: list[str] | None = None) -> str:
+        names = names or [f"x{i}" for i in range(self.dim)]
+        parts = [
+            f"{lo:.4g} <= {name} <= {hi:.4g}"
+            for name, lo, hi in zip(names, self.lo, self.hi)
+        ]
+        return " and ".join(parts)
+
+
+@dataclass(frozen=True)
+class Halfspace:
+    """A linear predicate ``coeffs @ x <= rhs`` (one tree-path row of T_i)."""
+
+    coeffs: tuple[float, ...]
+    rhs: float
+
+    @staticmethod
+    def axis(dim: int, total_dims: int, threshold: float, below: bool) -> "Halfspace":
+        """The tree predicate ``x_dim <= t`` (below) or ``x_dim > t`` (above).
+
+        "Above" is encoded as ``-x_dim <= -t`` so every predicate is a <=
+        row, matching the T_i X <= V_i form of Fig. 5c.
+        """
+        coeffs = [0.0] * total_dims
+        coeffs[dim] = 1.0 if below else -1.0
+        rhs = threshold if below else -threshold
+        return Halfspace(tuple(coeffs), rhs)
+
+    @property
+    def dim(self) -> int:
+        return len(self.coeffs)
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        return float(np.dot(self.coeffs, x)) <= self.rhs + tol
+
+    def contains_many(self, xs: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        xs = np.asarray(xs, dtype=float)
+        return xs @ np.asarray(self.coeffs) <= self.rhs + tol
+
+    def describe(self, names: list[str] | None = None) -> str:
+        names = names or [f"x{i}" for i in range(self.dim)]
+        terms = [
+            f"{c:+g}*{name}"
+            for c, name in zip(self.coeffs, names)
+            if c != 0.0
+        ]
+        return f"{' '.join(terms)} <= {self.rhs:.4g}"
+
+
+@dataclass
+class Region:
+    """A contiguous adversarial subspace: rough box + tree-path halfspaces."""
+
+    box: Box
+    halfspaces: list[Halfspace] = field(default_factory=list)
+
+    @property
+    def dim(self) -> int:
+        return self.box.dim
+
+    def contains(self, x: np.ndarray, tol: float = 1e-9) -> bool:
+        if not self.box.contains(x, tol):
+            return False
+        return all(h.contains(x, tol) for h in self.halfspaces)
+
+    def contains_many(self, xs: np.ndarray, tol: float = 1e-9) -> np.ndarray:
+        mask = self.box.contains_many(xs, tol)
+        for h in self.halfspaces:
+            mask &= h.contains_many(xs, tol)
+        return mask
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        count: int,
+        max_tries: int = 200,
+    ) -> np.ndarray:
+        """Rejection-sample inside the region (box proposal)."""
+        accepted: list[np.ndarray] = []
+        for _ in range(max_tries):
+            batch = self.box.sample(rng, count)
+            mask = self.contains_many(batch)
+            accepted.extend(batch[mask])
+            if len(accepted) >= count:
+                return np.array(accepted[:count])
+        if not accepted:
+            raise SubspaceError(
+                "region rejection sampling failed; halfspaces may exclude the box"
+            )
+        # Return what we have, recycled to the requested count.
+        reps = int(np.ceil(count / len(accepted)))
+        return np.array((accepted * reps)[:count])
+
+    def matrix_form(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """The (A, C, T, V) of Fig. 5c: A x <= C (box), T x <= V (tree path)."""
+        n = self.dim
+        a = np.vstack([np.eye(n), -np.eye(n)])
+        c = np.concatenate([self.box.hi_array, -self.box.lo_array])
+        if self.halfspaces:
+            t = np.array([h.coeffs for h in self.halfspaces])
+            v = np.array([h.rhs for h in self.halfspaces])
+        else:
+            t = np.zeros((0, n))
+            v = np.zeros(0)
+        return a, c, t, v
+
+    def describe(self, names: list[str] | None = None) -> str:
+        lines = [f"box: {self.box.describe(names)}"]
+        for h in self.halfspaces:
+            lines.append(f"and: {h.describe(names)}")
+        return "\n".join(lines)

@@ -1,0 +1,221 @@
+"""A from-scratch CART regression tree (§5.2, Fig. 5b).
+
+The paper refines the rough subspace "based on an idea from prior work in
+diagnosis [Chen et al. 2004]: we train a regression tree that predicts the
+performance gap on samples in our rough subspace. The predicates that form
+the path that starts at the root of this tree and reaches the leaf that
+contains the initial bad sample more accurately describe the subspace."
+
+The tree is a standard variance-reduction CART over arbitrary feature
+matrices. When the features are the raw inputs, the root-to-leaf path maps
+directly onto :class:`~repro.subspace.region.Halfspace` rows (the ``T_i X
+<= V_i`` block of Fig. 5c); for derived features F(I) the path is reported
+as named predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import SubspaceError
+from repro.subspace.region import Halfspace
+
+
+@dataclass
+class TreePredicate:
+    """One edge of a root-to-leaf path: ``feature <= t`` or ``feature > t``."""
+
+    feature_index: int
+    threshold: float
+    below: bool  # True for <=, False for >
+    feature_name: str = ""
+
+    def holds(self, features: np.ndarray) -> bool:
+        value = features[self.feature_index]
+        return value <= self.threshold if self.below else value > self.threshold
+
+    def describe(self) -> str:
+        name = self.feature_name or f"x{self.feature_index}"
+        op = "<=" if self.below else ">"
+        return f"{name} {op} {self.threshold:.4g}"
+
+    def to_halfspace(self, total_dims: int) -> Halfspace:
+        return Halfspace.axis(
+            self.feature_index, total_dims, self.threshold, self.below
+        )
+
+
+@dataclass
+class _Node:
+    prediction: float
+    count: int
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+@dataclass
+class RegressionTree:
+    """CART with variance-reduction splits."""
+
+    max_depth: int = 4
+    min_samples_leaf: int = 8
+    min_variance_decrease: float = 1e-6
+    #: candidate thresholds per feature (quantile grid; keeps fitting cheap)
+    max_candidate_splits: int = 32
+    feature_names: list[str] = field(default_factory=list)
+    _root: _Node | None = field(default=None, repr=False)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RegressionTree":
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        y = np.asarray(y, dtype=float)
+        if len(x) != len(y):
+            raise SubspaceError("X/y length mismatch")
+        if len(x) == 0:
+            raise SubspaceError("cannot fit a tree on zero samples")
+        if not self.feature_names:
+            self.feature_names = [f"x{i}" for i in range(x.shape[1])]
+        self._root = self._build(x, y, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(prediction=float(y.mean()), count=len(y))
+        if (
+            depth >= self.max_depth
+            or len(y) < 2 * self.min_samples_leaf
+            or np.ptp(y) < 1e-12
+        ):
+            return node
+        best = self._best_split(x, y)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float] | None:
+        n = len(y)
+        base_var = float(np.var(y))
+        best_gain = self.min_variance_decrease
+        best: tuple[int, float] | None = None
+        for feature in range(x.shape[1]):
+            column = x[:, feature]
+            values = np.unique(column)
+            if len(values) < 2:
+                continue
+            if len(values) > self.max_candidate_splits:
+                qs = np.linspace(0, 1, self.max_candidate_splits + 2)[1:-1]
+                candidates = np.unique(np.quantile(column, qs))
+            else:
+                candidates = (values[:-1] + values[1:]) / 2.0
+            for threshold in candidates:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if (
+                    n_left < self.min_samples_leaf
+                    or n - n_left < self.min_samples_leaf
+                ):
+                    continue
+                var_left = float(np.var(y[mask]))
+                var_right = float(np.var(y[~mask]))
+                weighted = (n_left * var_left + (n - n_left) * var_right) / n
+                gain = base_var - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold))
+        return best
+
+    # -- inference -----------------------------------------------------------
+    def _require_fit(self) -> _Node:
+        if self._root is None:
+            raise SubspaceError("tree is not fitted")
+        return self._root
+
+    def predict_one(self, x: np.ndarray) -> float:
+        node = self._require_fit()
+        x = np.asarray(x, dtype=float)
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+            assert node is not None
+        return node.prediction
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        return np.array([self.predict_one(row) for row in x])
+
+    def path_to(self, x: np.ndarray) -> list[TreePredicate]:
+        """Root-to-leaf predicates for the leaf containing ``x`` (Fig. 5b)."""
+        node = self._require_fit()
+        x = np.asarray(x, dtype=float)
+        path: list[TreePredicate] = []
+        while not node.is_leaf:
+            below = x[node.feature] <= node.threshold
+            path.append(
+                TreePredicate(
+                    feature_index=node.feature,
+                    threshold=node.threshold,
+                    below=bool(below),
+                    feature_name=self.feature_names[node.feature],
+                )
+            )
+            node = node.left if below else node.right
+            assert node is not None
+        return path
+
+    def leaf_prediction(self, x: np.ndarray) -> float:
+        return self.predict_one(x)
+
+    def depth(self) -> int:
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._require_fit())
+
+    def num_leaves(self) -> int:
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 1
+            assert node.left is not None and node.right is not None
+            return walk(node.left) + walk(node.right)
+
+        return walk(self._require_fit())
+
+    def render(self) -> str:
+        """ASCII rendering of the tree (Fig. 5b style, for reports)."""
+        lines: list[str] = []
+
+        def walk(node: _Node, indent: str) -> None:
+            if node.is_leaf:
+                lines.append(
+                    f"{indent}gap = {node.prediction:.4g}  (n={node.count})"
+                )
+                return
+            name = self.feature_names[node.feature]
+            lines.append(f"{indent}{name} <= {node.threshold:.4g}?")
+            walk(node.left, indent + "  yes: ")
+            walk(node.right, indent + "  no:  ")
+
+        walk(self._require_fit(), "")
+        return "\n".join(lines)
+
+
+def path_to_halfspaces(
+    path: list[TreePredicate], total_dims: int
+) -> list[Halfspace]:
+    """Convert a raw-input tree path to Fig. 5c halfspace rows."""
+    return [p.to_halfspace(total_dims) for p in path]

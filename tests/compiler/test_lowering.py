@@ -1,0 +1,264 @@
+"""Unit tests for DSL -> model lowering (Appendix A.1 semantics)."""
+
+import pytest
+
+from repro.compiler import compile_graph, solve_graph
+from repro.dsl import FlowGraphBuilder, NodeKind
+from repro.exceptions import CompilerError
+from repro.solver import SolveStatus
+
+
+class TestSplitLowering:
+    def test_conservation_and_capacity(self):
+        # Source 10 -> split -> two sink paths with caps 3 and 4: max 7
+        # routed; supply is an input so total must equal routed + nothing,
+        # hence feasibility requires input <= 7.
+        graph = (
+            FlowGraphBuilder()
+            .input_source("s", lb=0, ub=7)
+            .split("n")
+            .sink("t", objective="max")
+            .edge("s", "n")
+            .edge("n", "t", capacity=3)
+            .build()
+        )
+        # add a second path
+        graph2 = (
+            FlowGraphBuilder()
+            .input_source("s", lb=0, ub=10)
+            .split("n")
+            .sink("t", objective="max")
+            .edge("s", "n", capacity=10)
+            .edge("n", "t", capacity=3)
+            .build()
+        )
+        sol, compiled = solve_graph(graph2)
+        # The split conserves: inflow == outflow <= 3, so the input var is
+        # driven to at most 3 by feasibility; objective max pushes it to 3.
+        assert sol.is_optimal
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_split_balances_two_outputs(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=10.0)
+            .split("n")
+            .sink("t", objective="max")
+            .edge("s", "n")
+            .edge("n", "t", capacity=6)
+            .build()
+        )
+        sol, _ = solve_graph(graph)
+        # supply fixed at 10 but outgoing capacity only 6: infeasible.
+        assert sol.status is SolveStatus.INFEASIBLE
+
+    def test_fixed_rate_edge(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=5.0)
+            .split("n")
+            .sink("t", objective="max")
+            .sink("u")
+            .edge("s", "n")
+            .edge("n", "t")
+            .edge("n", "u", fixed_rate=2.0)
+            .build()
+        )
+        sol, compiled = solve_graph(graph)
+        flows = compiled.varmap.flows(sol)
+        assert flows[("n", "u")] == pytest.approx(2.0)
+        assert flows[("n", "t")] == pytest.approx(3.0)
+
+
+class TestPickLowering:
+    def test_pick_single_edge_carries_all(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("ball", supply=0.7, behavior=NodeKind.PICK)
+            .sink("bin1")
+            .sink("bin2", objective="max")
+            .edge("ball", "bin1", capacity=1.0)
+            .edge("ball", "bin2", capacity=1.0)
+            .build()
+        )
+        sol, compiled = solve_graph(graph)
+        assert sol.is_optimal
+        flows = compiled.varmap.flows(sol)
+        carrying = [f for f in flows.values() if f > 1e-6]
+        assert len(carrying) == 1
+        assert carrying[0] == pytest.approx(0.7)
+        # objective prefers bin2
+        assert flows[("ball", "bin2")] == pytest.approx(0.7)
+
+    def test_pick_binaries_exposed_in_varmap(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("ball", supply=0.7, behavior=NodeKind.PICK)
+            .sink("bin1")
+            .sink("bin2", objective="max")
+            .edge("ball", "bin1", capacity=1.0)
+            .edge("ball", "bin2", capacity=1.0)
+            .build()
+        )
+        sol, compiled = solve_graph(graph)
+        picks = compiled.varmap.picks(sol)
+        assert picks["ball"] == ("ball", "bin2")
+
+    def test_pick_respects_capacity(self):
+        # ball of size 0.7 cannot enter a bin with remaining capacity 0.5.
+        graph = (
+            FlowGraphBuilder()
+            .source("ball", supply=0.7, behavior=NodeKind.PICK)
+            .sink("small")
+            .sink("big", objective="min")
+            .edge("ball", "small", capacity=0.5)
+            .edge("ball", "big", capacity=1.0)
+            .build()
+        )
+        sol, compiled = solve_graph(graph)
+        # Even minimizing inflow to 'big', conservation forces the whole
+        # 0.7 through one edge and 'small' cannot take it.
+        assert sol.is_optimal
+        flows = compiled.varmap.flows(sol)
+        assert flows[("ball", "big")] == pytest.approx(0.7)
+
+
+class TestCopyAndAllEqualLowering:
+    def test_copy_duplicates_inflow(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=4.0)
+            .copy_node("c")
+            .sink("t1", objective="max")
+            .sink("t2")
+            .edge("s", "c")
+            .edge("c", "t1")
+            .edge("c", "t2")
+            .build()
+        )
+        sol, compiled = solve_graph(graph)
+        flows = compiled.varmap.flows(sol)
+        assert flows[("c", "t1")] == pytest.approx(4.0)
+        assert flows[("c", "t2")] == pytest.approx(4.0)
+
+    def test_all_equal_ties_edges(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s1", supply=3.0)
+            .all_equal("ae")
+            .sink("t1", objective="max")
+            .sink("t2")
+            .edge("s1", "ae")
+            .edge("ae", "t1")
+            .edge("ae", "t2")
+            .build()
+        )
+        sol, compiled = solve_graph(graph)
+        flows = compiled.varmap.flows(sol)
+        assert flows[("ae", "t1")] == pytest.approx(3.0)
+        assert flows[("ae", "t2")] == pytest.approx(3.0)
+        assert flows[("s1", "ae")] == pytest.approx(3.0)
+
+    def test_multiply_scales_flow(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=2.0)
+            .multiply("m", factor=2.5)
+            .sink("t", objective="max")
+            .edge("s", "m")
+            .edge("m", "t")
+            .build()
+        )
+        sol, compiled = solve_graph(graph)
+        flows = compiled.varmap.flows(sol)
+        assert flows[("m", "t")] == pytest.approx(5.0)
+
+
+class TestInputsAndObjective:
+    def test_inputs_pin_supplies(self):
+        graph = (
+            FlowGraphBuilder()
+            .input_source("d", lb=0, ub=10)
+            .split("n")
+            .sink("t", objective="max")
+            .edge("d", "n")
+            .edge("n", "t")
+            .build()
+        )
+        sol, compiled = solve_graph(graph, inputs={"d": 4.0})
+        assert sol.objective == pytest.approx(4.0)
+        assert compiled.varmap.input_values(sol)["d"] == pytest.approx(4.0)
+
+    def test_out_of_range_input_rejected(self):
+        graph = (
+            FlowGraphBuilder()
+            .input_source("d", lb=0, ub=10)
+            .split("n")
+            .sink("t", objective="max")
+            .edge("d", "n")
+            .edge("n", "t")
+            .build()
+        )
+        with pytest.raises(CompilerError):
+            compile_graph(graph, inputs={"d": 11.0}, run_presolve=False)
+
+    def test_min_objective_sense(self):
+        graph = (
+            FlowGraphBuilder()
+            .input_source("d", lb=2, ub=10)
+            .split("n")
+            .sink("t", objective="min")
+            .edge("d", "n")
+            .edge("n", "t")
+            .build()
+        )
+        sol, _ = solve_graph(graph)
+        assert sol.objective == pytest.approx(2.0)
+
+    def test_unpinned_input_ranges_free(self):
+        graph = (
+            FlowGraphBuilder()
+            .input_source("d", lb=0, ub=8)
+            .split("n")
+            .sink("t", objective="max")
+            .edge("d", "n")
+            .edge("n", "t")
+            .build()
+        )
+        sol, _ = solve_graph(graph)  # no inputs: supply explores [0, 8]
+        assert sol.objective == pytest.approx(8.0)
+
+
+class TestCompileOptions:
+    def _graph(self):
+        return (
+            FlowGraphBuilder()
+            .input_source("d", lb=0, ub=5)
+            .split("a")
+            .split("b")
+            .sink("t", objective="max")
+            .chain(["d", "a", "b", "t"])
+            .build()
+        )
+
+    def test_presolve_shrinks_model(self):
+        naive = compile_graph(self._graph(), rewrite=False, run_presolve=False)
+        tuned = compile_graph(self._graph(), rewrite=True, run_presolve=True)
+        assert tuned.presolve_result is not None
+        reduced = tuned.presolve_result.reduced
+        assert reduced.num_variables < naive.model.num_variables
+        assert reduced.num_constraints < naive.model.num_constraints
+
+    def test_same_objective_with_and_without_presolve(self):
+        naive_sol, _ = solve_graph(
+            self._graph(), rewrite=False, run_presolve=False
+        )
+        tuned_sol, _ = solve_graph(self._graph())
+        assert naive_sol.objective == pytest.approx(tuned_sol.objective)
+
+    def test_flows_recovered_after_presolve(self):
+        sol, compiled = solve_graph(self._graph())
+        flows = compiled.varmap.flows(sol)
+        # All edges on the single chain carry the same (maximal) flow.
+        for value in flows.values():
+            assert value == pytest.approx(5.0)

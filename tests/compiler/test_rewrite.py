@@ -1,0 +1,164 @@
+"""Unit tests for graph-level rewrites."""
+
+import pytest
+
+from repro.compiler import rewrite_graph, solve_graph
+from repro.dsl import FlowGraphBuilder, NodeKind
+
+
+class TestZeroCapacityPruning:
+    def test_zero_capacity_edge_removed(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=3.0)
+            .split("n")
+            .sink("t", objective="max")
+            .sink("u")
+            .edge("s", "n")
+            .edge("n", "t")
+            .edge("n", "u", capacity=0.0)
+            .build()
+        )
+        rewritten, stats = rewrite_graph(graph)
+        assert stats.pruned_zero_capacity_edges == 1
+        assert not rewritten.has_edge("n", "u")
+
+    def test_semantics_preserved(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=3.0)
+            .split("n")
+            .sink("t", objective="max")
+            .sink("u")
+            .edge("s", "n")
+            .edge("n", "t")
+            .edge("n", "u", capacity=0.0)
+            .build()
+        )
+        raw, _ = solve_graph(graph, rewrite=False, run_presolve=False)
+        opt, _ = solve_graph(graph, rewrite=True, run_presolve=True)
+        assert raw.objective == pytest.approx(opt.objective)
+
+
+class TestIdentityContraction:
+    def test_wire_split_contracted(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=2.0)
+            .split("wire")
+            .sink("t", objective="max")
+            .edge("s", "wire", capacity=9)
+            .edge("wire", "t", capacity=4)
+            .build()
+        )
+        rewritten, stats = rewrite_graph(graph)
+        assert stats.contracted_identity_nodes == 1
+        assert not rewritten.has_node("wire")
+        assert rewritten.edge("s", "t").capacity == 4  # tighter capacity kept
+
+    def test_identity_multiply_contracted(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=2.0)
+            .multiply("m", factor=1.0)
+            .sink("t", objective="max")
+            .edge("s", "m")
+            .edge("m", "t")
+            .build()
+        )
+        rewritten, stats = rewrite_graph(graph)
+        assert stats.contracted_identity_nodes == 1
+        assert rewritten.has_edge("s", "t")
+
+    def test_scaling_multiply_not_contracted(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=2.0)
+            .multiply("m", factor=2.0)
+            .sink("t", objective="max")
+            .edge("s", "m")
+            .edge("m", "t")
+            .build()
+        )
+        rewritten, stats = rewrite_graph(graph)
+        assert stats.contracted_identity_nodes == 0
+        assert rewritten.has_node("m")
+
+    def test_chain_fully_contracted(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=2.0)
+            .split("a")
+            .split("b")
+            .split("c")
+            .sink("t", objective="max")
+            .chain(["s", "a", "b", "c", "t"])
+            .build()
+        )
+        rewritten, stats = rewrite_graph(graph)
+        assert stats.contracted_identity_nodes == 3
+        assert rewritten.num_nodes == 2
+        assert rewritten.has_edge("s", "t")
+
+    def test_branching_split_not_contracted(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=2.0)
+            .split("fork")
+            .sink("t1", objective="max")
+            .sink("t2")
+            .edge("s", "fork")
+            .edge("fork", "t1")
+            .edge("fork", "t2")
+            .build()
+        )
+        _, stats = rewrite_graph(graph)
+        assert stats.contracted_identity_nodes == 0
+
+    def test_parallel_edge_collision_keeps_node(self):
+        # Contracting 'wire' would duplicate the existing s->t edge.
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=2.0)
+            .split("wire")
+            .sink("t", objective="max")
+            .edge("s", "t", capacity=1)
+            .edge("s", "wire")
+            .edge("wire", "t")
+            .build()
+        )
+        rewritten, _ = rewrite_graph(graph)
+        assert rewritten.has_node("wire")
+
+
+class TestCopyFolding:
+    def test_single_out_copy_becomes_split(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=2.0)
+            .copy_node("c")
+            .sink("t", objective="max")
+            .edge("s", "c")
+            .edge("c", "t")
+            .build()
+        )
+        rewritten, stats = rewrite_graph(graph)
+        assert stats.folded_copy_nodes == 1
+        # After folding it is a wire split, so contraction removes it too.
+        assert not rewritten.has_node("c")
+
+    def test_multi_out_copy_untouched(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=2.0)
+            .copy_node("c")
+            .sink("t1", objective="max")
+            .sink("t2")
+            .edge("s", "c")
+            .edge("c", "t1")
+            .edge("c", "t2")
+            .build()
+        )
+        rewritten, stats = rewrite_graph(graph)
+        assert stats.folded_copy_nodes == 0
+        assert rewritten.node("c").routing_kind is NodeKind.COPY

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dp_defaults(self):
+        args = build_parser().parse_args(["dp"])
+        assert args.threshold == 50.0
+        assert args.d_max == 100.0
+        assert not args.fig4a
+
+    def test_vbp_options(self):
+        args = build_parser().parse_args(
+            ["vbp", "--balls", "5", "--bins", "4", "--seed", "7"]
+        )
+        assert args.balls == 5
+        assert args.bins == 4
+        assert args.seed == 7
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_fig1a_prints_table(self, capsys):
+        assert main(["fig1a"]) == 0
+        out = capsys.readouterr().out
+        assert "150" in out and "250" in out
+
+    def test_encode_roundtrip(self, capsys):
+        assert main(["encode"]) == 0
+        out = capsys.readouterr().out
+        assert "direct optimum 20, via flow graph 20" in out
+        assert "stove" in out
+
+    def test_vbp_small_runs(self, capsys):
+        # 3 balls is FF-optimal, so this exercises the empty-report path.
+        code = main(
+            ["vbp", "--balls", "3", "--bins", "3", "--samples", "30",
+             "--subspaces", "1"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "XPlain report" in out
+        assert "worst-case gap found: 0" in out
+
+    def test_dp_runs_pipeline(self, capsys):
+        code = main(
+            ["dp", "--samples", "30", "--subspaces", "1", "--seed", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst-case gap found: 100" in out
+        assert "Wilcoxon" in out

@@ -1,0 +1,54 @@
+"""Tests for cross-instance Type-3 generalization via the pipeline."""
+
+import pytest
+
+from repro import XPlain, XPlainConfig
+from repro.domains.te import (
+    build_demand_set,
+    demand_pinning_problem,
+    fig1a_demand_pairs,
+    fig1a_topology,
+)
+from repro.generalize import line_te_instance_generator, vbp_instance_generator
+from repro.subspace import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def dp_pipeline():
+    demand_set = build_demand_set(
+        fig1a_topology(), fig1a_demand_pairs(), num_paths=2
+    )
+    problem = demand_pinning_problem(demand_set, threshold=50.0, d_max=100.0)
+    config = XPlainConfig(
+        generator=GeneratorConfig(max_subspaces=1, seed=0), seed=0
+    )
+    return XPlain(problem, config)
+
+
+class TestGeneralizeAcross:
+    def test_sampled_observation_mode(self, dp_pipeline):
+        result = dp_pipeline.generalize_across(
+            vbp_instance_generator(num_balls_range=(3, 5)),
+            num_instances=10,
+            samples_per_instance=15,
+        )
+        # Every checked predicate carries valid statistics.
+        for predicate in result.checked:
+            assert 0.0 <= predicate.p_value <= 1.0
+
+    def test_exact_analyzer_mode_finds_path_length_trend(self, dp_pipeline):
+        result = dp_pipeline.generalize_across(
+            line_te_instance_generator(length_range=(3, 7)),
+            num_instances=9,
+            use_exact_analyzer=True,
+        )
+        statements = [c.statement for c in result.supported]
+        assert "increasing(pinned_shortest_path_len)" in statements
+
+    def test_result_describe_renders(self, dp_pipeline):
+        result = dp_pipeline.generalize_across(
+            vbp_instance_generator(num_balls_range=(3, 4)),
+            num_instances=8,
+            samples_per_instance=10,
+        )
+        assert "type-3 clause" in result.describe()

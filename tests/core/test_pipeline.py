@@ -1,0 +1,120 @@
+"""Tests for the end-to-end XPlain pipeline and visualizations."""
+
+import numpy as np
+import pytest
+
+from repro import XPlain, XPlainConfig
+from repro.analyzer import AnalyzedProblem, GapSample
+from repro.core.visualize import (
+    render_gap_table,
+    render_layered_graph,
+    render_region_matrix,
+)
+from repro.domains.binpack import first_fit_problem
+from repro.exceptions import AnalyzerError
+from repro.subspace import Box, GeneratorConfig, Region
+from repro.subspace.region import Halfspace
+
+
+def fast_config(**overrides):
+    defaults = dict(
+        generator=GeneratorConfig(
+            max_subspaces=1,
+            tree_extra_samples=120,
+            significance_pairs=24,
+            seed=1,
+        ),
+        explainer_samples=60,
+        generalizer_samples=60,
+        seed=1,
+    )
+    defaults.update(overrides)
+    return XPlainConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def ff_report():
+    problem = first_fit_problem(num_balls=4, num_bins=3)
+    return XPlain(problem, fast_config()).run()
+
+
+class TestPipeline:
+    def test_report_has_all_types(self, ff_report):
+        assert ff_report.num_subspaces >= 1  # Type 1
+        explained = ff_report.explained[0]
+        assert explained.heatmap.num_samples == 60  # Type 2
+        assert ff_report.generalization is not None  # Type 3 (checked)
+        assert ff_report.worst_gap == pytest.approx(1.0)
+
+    def test_subspace_is_significant(self, ff_report):
+        assert all(e.subspace.significant for e in ff_report.explained)
+        assert ff_report.explained[0].subspace.significance.p_value < 0.05
+
+    def test_summary_renders(self, ff_report):
+        text = ff_report.summary()
+        assert "XPlain report" in text
+        assert "subspace D0" in text
+        assert "Wilcoxon" in text
+
+    def test_narrative_present(self, ff_report):
+        narrative = ff_report.explained[0].narrative.render()
+        assert "ball" in narrative
+
+    def test_auto_uses_blackbox_without_encoding(self):
+        def evaluate(x):
+            return GapSample(
+                x=x, benchmark_value=float(x[0]), heuristic_value=0.0
+            )
+
+        bare = AnalyzedProblem(
+            name="bare",
+            input_names=["x"],
+            input_box=Box((0.0,), (1.0,)),
+            evaluate=evaluate,
+        )
+        pipeline = XPlain(bare, fast_config(generalizer_samples=0))
+        analyzer = pipeline.make_analyzer()
+        assert type(analyzer).__name__ == "BlackBoxAnalyzer"
+
+    def test_metaopt_mode_requires_encoding(self):
+        def evaluate(x):
+            return GapSample(x=x, benchmark_value=0.0, heuristic_value=0.0)
+
+        bare = AnalyzedProblem(
+            name="bare2",
+            input_names=["x"],
+            input_box=Box((0.0,), (1.0,)),
+            evaluate=evaluate,
+        )
+        pipeline = XPlain(bare, fast_config(analyzer="metaopt"))
+        with pytest.raises(AnalyzerError):
+            pipeline.make_analyzer()
+
+    def test_runtime_recorded(self, ff_report):
+        assert ff_report.runtime_seconds > 0
+
+
+class TestVisualize:
+    def test_layered_graph_render(self, ff_report):
+        problem = ff_report.problem
+        text = render_layered_graph(
+            problem.graph, ff_report.explained[0].heatmap
+        )
+        assert "[BALLS]" in text
+        assert "[BINS]" in text
+        assert "->" in text
+
+    def test_region_matrix_render(self):
+        region = Region(
+            box=Box((0.0, 0.0), (1.0, 1.0)),
+            halfspaces=[Halfspace((-1.0, -1.0), -1.5)],
+        )
+        text = render_region_matrix(region, ["B0", "B1"])
+        assert "A X <= C" in text
+        assert "T X <= V" in text
+        assert "-1.5" in text
+
+    def test_gap_table(self):
+        text = render_gap_table([("fig1a", 150.0, 250.0)])
+        assert "fig1a" in text
+        assert "100" in text

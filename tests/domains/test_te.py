@@ -1,0 +1,216 @@
+"""Tests for the traffic-engineering domain (topology through DP)."""
+
+import numpy as np
+import pytest
+
+from repro.domains.te import (
+    Topology,
+    all_pairs_demand_set,
+    build_demand_set,
+    fig1a_demand_pairs,
+    fig1a_topology,
+    fig4a_demand_pairs,
+    k_shortest_paths,
+    line_topology,
+    pinned_demands,
+    pinning_gap,
+    solve_demand_pinning,
+    solve_optimal_te,
+)
+from repro.exceptions import DslError
+
+
+@pytest.fixture(scope="module")
+def fig1a():
+    topo = fig1a_topology()
+    demand_set = build_demand_set(topo, fig1a_demand_pairs(), num_paths=2)
+    return topo, demand_set
+
+
+class TestTopology:
+    def test_fig1a_shape(self):
+        topo = fig1a_topology()
+        assert topo.num_nodes == 5
+        assert topo.num_links == 5
+        assert topo.capacity("1", "2") == 100.0
+        assert topo.capacity("4", "5") == 50.0
+        assert topo.min_capacity() == 50.0
+
+    def test_duplicate_link_rejected(self):
+        topo = Topology()
+        topo.add_link("a", "b", 1.0)
+        with pytest.raises(DslError):
+            topo.add_link("a", "b", 2.0)
+
+    def test_nonpositive_capacity_rejected(self):
+        topo = Topology()
+        with pytest.raises(DslError):
+            topo.add_link("a", "b", 0.0)
+
+    def test_duplex_link(self):
+        topo = Topology()
+        topo.add_duplex_link("a", "b", 7.0)
+        assert topo.has_link("a", "b") and topo.has_link("b", "a")
+
+    def test_random_topology_connected_cycle(self):
+        rng = np.random.default_rng(3)
+        topo = Topology.random(5, 0.2, (10, 20), rng)
+        # The Hamiltonian cycle guarantees a path between all ordered pairs.
+        for a in topo.nodes:
+            for b in topo.nodes:
+                if a != b:
+                    assert k_shortest_paths(topo, a, b, 1)
+
+    def test_networkx_roundtrip(self):
+        topo = fig1a_topology()
+        g = topo.to_networkx()
+        assert g.number_of_edges() == 5
+        assert g["1"]["2"]["capacity"] == 100.0
+
+
+class TestPaths:
+    def test_shortest_first(self):
+        topo = fig1a_topology()
+        paths = k_shortest_paths(topo, "1", "3", 3)
+        assert paths[0].name == "1-2-3"
+        assert paths[1].name == "1-4-5-3"
+        assert len(paths) == 2  # only two simple paths exist
+
+    def test_path_properties(self):
+        topo = fig1a_topology()
+        path = k_shortest_paths(topo, "1", "3", 1)[0]
+        assert path.length == 2
+        assert path.links == (("1", "2"), ("2", "3"))
+        assert path.uses_link("1", "2")
+        assert not path.uses_link("1", "4")
+        assert path.min_capacity(topo) == 100.0
+
+    def test_no_path_returns_empty(self):
+        topo = line_topology(3)
+        assert k_shortest_paths(topo, "3", "1", 2) == []
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(DslError):
+            k_shortest_paths(fig1a_topology(), "1", "1", 1)
+
+
+class TestDemandSet:
+    def test_build_and_keys(self, fig1a):
+        _, ds = fig1a
+        assert ds.keys == ["1->3", "1->2", "2->3"]
+        assert ds.demand("1->3").shortest_path.name == "1-2-3"
+
+    def test_values_from_vector_and_mapping(self, fig1a):
+        _, ds = fig1a
+        by_vec = ds.values_from(np.array([1.0, 2.0, 3.0]))
+        assert by_vec == {"1->3": 1.0, "1->2": 2.0, "2->3": 3.0}
+        by_map = ds.values_from({"1->3": 1, "1->2": 2, "2->3": 3})
+        assert by_map == by_vec
+
+    def test_missing_values_rejected(self, fig1a):
+        _, ds = fig1a
+        with pytest.raises(DslError):
+            ds.values_from({"1->3": 1.0})
+        with pytest.raises(DslError):
+            ds.values_from(np.ones(5))
+
+    def test_all_pairs_demand_set(self):
+        ds = all_pairs_demand_set(line_topology(3))
+        # Line 1->2->3: pairs (1,2), (1,3), (2,3)
+        assert ds.size == 3
+
+    def test_fig4a_has_eight_demands(self):
+        topo = fig1a_topology()
+        ds = build_demand_set(topo, fig4a_demand_pairs(), num_paths=2)
+        assert ds.size == 8
+
+
+class TestOptimalTE:
+    def test_fig1a_optimal_is_250(self, fig1a):
+        _, ds = fig1a
+        result = solve_optimal_te(
+            ds, {"1->3": 50.0, "1->2": 100.0, "2->3": 100.0}
+        )
+        assert result.total_flow == pytest.approx(250.0)
+        # OPT routes 1->3 on the long path, freeing 1-2/2-3.
+        assert result.flow_on_path("1->3", "1-4-5-3") == pytest.approx(50.0)
+        assert result.flow_on_path("1->2", "1-2") == pytest.approx(100.0)
+
+    def test_capacity_respected(self, fig1a):
+        topo, ds = fig1a
+        result = solve_optimal_te(ds, {"1->3": 999, "1->2": 999, "2->3": 999})
+        for link_key, load in result.link_loads.items():
+            assert load <= topo.capacity(*link_key) + 1e-6
+
+    def test_zero_demands(self, fig1a):
+        _, ds = fig1a
+        result = solve_optimal_te(ds, np.zeros(3))
+        assert result.total_flow == pytest.approx(0.0)
+
+    def test_routed_for_accounting(self, fig1a):
+        _, ds = fig1a
+        result = solve_optimal_te(ds, {"1->3": 10, "1->2": 20, "2->3": 0})
+        assert result.routed_for("1->2") == pytest.approx(20.0)
+
+
+class TestDemandPinning:
+    def test_fig1a_dp_is_150(self, fig1a):
+        _, ds = fig1a
+        result = solve_demand_pinning(
+            ds, {"1->3": 50.0, "1->2": 100.0, "2->3": 100.0}, threshold=50.0
+        )
+        assert result.total_flow == pytest.approx(150.0)
+        assert result.pinned == frozenset({"1->3"})
+        # The pinned demand sits on its shortest path.
+        assert result.flow_on_path("1->3", "1-2-3") == pytest.approx(50.0)
+        assert result.flow_on_path("1->3", "1-4-5-3") == pytest.approx(0.0)
+
+    def test_no_pinning_equals_optimal(self, fig1a):
+        _, ds = fig1a
+        values = {"1->3": 60.0, "1->2": 100.0, "2->3": 100.0}
+        dp = solve_demand_pinning(ds, values, threshold=50.0)
+        opt = solve_optimal_te(ds, values)
+        assert dp.pinned == frozenset()
+        assert dp.total_flow == pytest.approx(opt.total_flow)
+
+    def test_pinned_demand_set_predicate(self, fig1a):
+        _, ds = fig1a
+        values = {"1->3": 50.0, "1->2": 0.0, "2->3": 70.0}
+        pinned = pinned_demands(ds, values, threshold=50.0)
+        assert pinned == frozenset({"1->3"})  # zero demands are not pinned
+
+    def test_strict_mode_infeasible_reports(self):
+        # Two pinnable demands share a capacity-10 link; strict pinning of
+        # 8 + 8 = 16 > 10 must be infeasible.
+        topo = Topology()
+        topo.add_link("a", "b", 10.0)
+        topo.add_link("b", "c", 10.0)
+        ds = build_demand_set(topo, [("a", "b"), ("a", "c")], num_paths=1)
+        values = {"a->b": 8.0, "a->c": 8.0}
+        strict = solve_demand_pinning(ds, values, threshold=9.0, strict=True)
+        assert not strict.feasible
+        relaxed = solve_demand_pinning(ds, values, threshold=9.0, strict=False)
+        assert relaxed.feasible
+        assert relaxed.total_flow == pytest.approx(10.0)
+
+    def test_relaxed_equals_strict_when_feasible(self, fig1a):
+        _, ds = fig1a
+        values = {"1->3": 40.0, "1->2": 80.0, "2->3": 90.0}
+        strict = solve_demand_pinning(ds, values, threshold=50.0, strict=True)
+        relaxed = solve_demand_pinning(ds, values, threshold=50.0, strict=False)
+        assert strict.feasible
+        assert strict.total_flow == pytest.approx(relaxed.total_flow)
+
+    def test_gap_nonnegative(self, fig1a):
+        _, ds = fig1a
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            values = rng.uniform(0, 100, size=3)
+            assert pinning_gap(ds, values, threshold=50.0) >= -1e-6
+
+    def test_fig1a_gap_is_100(self, fig1a):
+        _, ds = fig1a
+        gap = pinning_gap(
+            ds, {"1->3": 50.0, "1->2": 100.0, "2->3": 100.0}, threshold=50.0
+        )
+        assert gap == pytest.approx(100.0)

@@ -1,0 +1,174 @@
+"""Unit tests for the fluent builder and the LINQ-style combinators."""
+
+import pytest
+
+from repro.dsl import FlowGraphBuilder, NodeKind, query
+from repro.exceptions import GraphValidationError
+
+
+class TestBuilder:
+    def test_chained_construction(self):
+        graph = (
+            FlowGraphBuilder("demo")
+            .input_source("d", lb=0, ub=10, group="DEMANDS")
+            .split("p", group="PATHS")
+            .sink("met", objective="max")
+            .edge("d", "p")
+            .edge("p", "met", capacity=5)
+            .build()
+        )
+        assert graph.num_nodes == 3
+        assert graph.objective_node == "met"
+        assert graph.node("d").is_input
+        assert graph.node("d").group() == "DEMANDS"
+        assert graph.edge("p", "met").capacity == 5
+
+    def test_all_node_kinds_available(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("s", supply=4.0)
+            .split("sp")
+            .pick("pk")
+            .multiply("m", factor=2.0)
+            .all_equal("ae")
+            .copy_node("cp")
+            .sink("t", objective="max")
+            .edge("s", "sp")
+            .edge("sp", "pk")
+            .edge("pk", "m")
+            .edge("m", "ae")
+            .edge("ae", "cp")
+            .edge("cp", "t")
+            .build()
+        )
+        assert graph.node("m").multiplier == 2.0
+        assert graph.node("pk").routing_kind is NodeKind.PICK
+
+    def test_chain_helper(self):
+        graph = (
+            FlowGraphBuilder()
+            .source("a", supply=1.0)
+            .split("b")
+            .split("c")
+            .sink("d", objective="max")
+            .chain(["a", "b", "c", "d"], capacity=7)
+            .build()
+        )
+        assert graph.edge("b", "c").capacity == 7
+        assert graph.num_edges == 3
+
+    def test_pick_source_behavior(self):
+        graph = (
+            FlowGraphBuilder()
+            .input_source("ball", lb=0, ub=1, behavior=NodeKind.PICK)
+            .sink("bin1")
+            .sink("bin2", objective="max")
+            .edge("ball", "bin1")
+            .edge("ball", "bin2")
+            .build()
+        )
+        assert graph.node("ball").routing_kind is NodeKind.PICK
+
+    def test_big_m_setting(self):
+        builder = FlowGraphBuilder().big_m(55.0)
+        graph = (
+            builder.source("a", supply=1.0).sink("t", objective="max")
+            .edge("a", "t").build()
+        )
+        assert graph.default_big_m == 55.0
+        with pytest.raises(GraphValidationError):
+            FlowGraphBuilder().big_m(0.0)
+
+    def test_build_validates(self):
+        builder = FlowGraphBuilder().source("a", supply=1.0)
+        with pytest.raises(GraphValidationError):
+            builder.build()  # source with no outgoing edges
+
+
+class TestQuery:
+    def test_where_select(self):
+        out = (
+            query(range(10))
+            .where(lambda x: x % 2 == 0)
+            .select(lambda x: x * x)
+            .to_list()
+        )
+        assert out == [0, 4, 16, 36, 64]
+
+    def test_order_by_descending(self):
+        out = query([3, 1, 2]).order_by(lambda x: x, descending=True).to_list()
+        assert out == [3, 2, 1]
+
+    def test_group_by(self):
+        groups = query(range(6)).group_by(lambda x: x % 2)
+        assert groups[0] == [0, 2, 4]
+        assert groups[1] == [1, 3, 5]
+
+    def test_select_many(self):
+        out = query([[1, 2], [3]]).select_many(lambda xs: xs).to_list()
+        assert out == [1, 2, 3]
+
+    def test_distinct_with_key(self):
+        out = query(["aa", "ab", "ba"]).distinct(lambda s: s[0]).to_list()
+        assert out == ["aa", "ba"]
+
+    def test_take_skip(self):
+        assert query(range(10)).skip(8).to_list() == [8, 9]
+        assert query(range(10)).take(2).to_list() == [0, 1]
+
+    def test_aggregations(self):
+        q = query([1, 2, 3, 4])
+        assert q.count() == 4
+        assert query([1, 2, 3, 4]).count(lambda x: x > 2) == 2
+        assert query([1, 2, 3]).sum() == 6
+        assert query([1, 2, 3]).sum(lambda x: x * 10) == 60
+        assert query([3, 1, 2]).min_by(lambda x: x) == 1
+        assert query([3, 1, 2]).max_by(lambda x: x) == 3
+
+    def test_first_and_first_or_none(self):
+        assert query([1, 2, 3]).first(lambda x: x > 1) == 2
+        assert query([1]).first_or_none(lambda x: x > 5) is None
+        with pytest.raises(ValueError):
+            query([]).first()
+
+    def test_any_all(self):
+        assert query([1, 2]).any()
+        assert not query([]).any()
+        assert query([2, 4]).all(lambda x: x % 2 == 0)
+        assert query([1, 2]).any(lambda x: x == 2)
+
+    def test_to_dict(self):
+        d = query(["a", "bb"]).to_dict(lambda s: s, lambda s: len(s))
+        assert d == {"a": 1, "bb": 2}
+
+    def test_lazy_evaluation(self):
+        seen = []
+
+        def spy(x):
+            seen.append(x)
+            return x
+
+        q = query(range(100)).select(spy).take(3)
+        assert seen == []  # nothing evaluated yet
+        q.to_list()
+        assert seen == [0, 1, 2]
+
+    def test_query_over_graph_nodes(self):
+        graph = (
+            FlowGraphBuilder()
+            .input_source("d1", 0, 10, group="DEMANDS")
+            .input_source("d2", 0, 10, group="DEMANDS")
+            .split("p", group="PATHS")
+            .sink("t", objective="max")
+            .edge("d1", "p")
+            .edge("d2", "p")
+            .edge("p", "t")
+            .build()
+        )
+        demands = (
+            query(graph.nodes)
+            .where(lambda n: n.group() == "DEMANDS")
+            .select(lambda n: n.name)
+            .to_list()
+        )
+        assert demands == ["d1", "d2"]

@@ -1,0 +1,151 @@
+"""Tests for abstract templates and concretization (§5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    FlowGraph,
+    GroupTracker,
+    NodeKind,
+    ParamSpec,
+    ProblemTemplate,
+)
+from repro.exceptions import DslError
+
+
+def make_chain_template():
+    """Template: a source-to-sink chain with `length` middle splits."""
+
+    def build(params):
+        graph = FlowGraph(f"chain{params['length']}")
+        graph.add_node("src", NodeKind.SOURCE, supply=float(params["supply"]))
+        previous = "src"
+        for i in range(params["length"]):
+            name = f"mid{i}"
+            graph.add_node(name, NodeKind.SPLIT)
+            graph.add_edge(previous, name)
+            previous = name
+        graph.add_node("dst", NodeKind.SINK)
+        graph.add_edge(previous, "dst")
+        graph.set_objective("dst", "max")
+        return graph
+
+    return ProblemTemplate(
+        name="chain",
+        params=[
+            ParamSpec("length", int, low=1, high=10, default=2),
+            ParamSpec("supply", float, low=0.0, high=100.0, default=5.0),
+        ],
+        build=build,
+    )
+
+
+class TestParamSpec:
+    def test_int_validation(self):
+        spec = ParamSpec("n", int, low=1, high=5)
+        assert spec.validate(3) == 3
+        with pytest.raises(DslError):
+            spec.validate(0)
+        with pytest.raises(DslError):
+            spec.validate(2.5)
+        with pytest.raises(DslError):
+            spec.validate(True)  # bools are not ints here
+
+    def test_float_validation(self):
+        spec = ParamSpec("x", float, low=0.0, high=1.0)
+        assert spec.validate(0.5) == 0.5
+        assert spec.validate(1) == 1.0  # ints coerce to float
+        with pytest.raises(DslError):
+            spec.validate(2.0)
+
+    def test_sampling_in_range(self):
+        rng = np.random.default_rng(0)
+        int_spec = ParamSpec("n", int, low=2, high=4)
+        float_spec = ParamSpec("x", float, low=0.5, high=0.9)
+        for _ in range(20):
+            assert 2 <= int_spec.sample(rng) <= 4
+            assert 0.5 <= float_spec.sample(rng) <= 0.9
+
+
+class TestProblemTemplate:
+    def test_instantiate_with_defaults(self):
+        template = make_chain_template()
+        graph = template.instantiate()
+        assert graph.num_nodes == 2 + 2  # src, mid0, mid1, dst
+
+    def test_instantiate_with_overrides(self):
+        template = make_chain_template()
+        graph = template.instantiate(length=4)
+        assert graph.has_node("mid3")
+
+    def test_unknown_param_rejected(self):
+        template = make_chain_template()
+        with pytest.raises(DslError):
+            template.instantiate(bogus=1)
+
+    def test_out_of_range_rejected(self):
+        template = make_chain_template()
+        with pytest.raises(DslError):
+            template.instantiate(length=99)
+
+    def test_missing_param_without_default(self):
+        template = ProblemTemplate(
+            "needy",
+            params=[ParamSpec("n", int, low=1, high=3)],
+            build=lambda p: FlowGraph(),
+        )
+        with pytest.raises(DslError):
+            template.instantiate()
+
+    def test_duplicate_param_names_rejected(self):
+        with pytest.raises(DslError):
+            ProblemTemplate(
+                "dup",
+                params=[
+                    ParamSpec("n", int, 1, 2),
+                    ParamSpec("n", int, 1, 2),
+                ],
+                build=lambda p: FlowGraph(),
+            )
+
+    def test_sample_instance_valid_graph(self):
+        template = make_chain_template()
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            graph = template.sample_instance(rng)
+            graph.validate()  # instantiate() already validates; idempotent
+
+    def test_instantiate_validates_graph(self):
+        # A builder that produces an invalid graph must be caught.
+        def broken(params):
+            graph = FlowGraph()
+            graph.add_node("lonely", NodeKind.SOURCE, supply=1.0)
+            return graph
+
+        template = ProblemTemplate(
+            "broken",
+            params=[ParamSpec("n", int, 1, 2, default=1)],
+            build=broken,
+        )
+        from repro.exceptions import GraphValidationError
+
+        with pytest.raises(GraphValidationError):
+            template.instantiate()
+
+
+class TestGroupTracker:
+    def test_tracks_members_in_order(self):
+        tracker = GroupTracker()
+        tracker.add("BALLS", "ball0")
+        tracker.add("BALLS", "ball1")
+        tracker.add("BINS", "bin0")
+        assert tracker.members("BALLS") == ["ball0", "ball1"]
+        assert tracker.members("BINS") == ["bin0"]
+        assert tracker.members("MISSING") == []
+
+    def test_members_returns_copy(self):
+        tracker = GroupTracker()
+        tracker.add("G", "a")
+        members = tracker.members("G")
+        members.append("b")
+        assert tracker.members("G") == ["a"]

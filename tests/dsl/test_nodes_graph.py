@@ -1,0 +1,163 @@
+"""Unit tests for DSL nodes, edges and the flow-graph IR."""
+
+import pytest
+
+from repro.dsl import FlowGraph, InputSpec, NodeKind, make_node
+from repro.exceptions import GraphValidationError
+
+
+class TestNode:
+    def test_make_node_accepts_strings(self):
+        node = make_node("n", "split", "source", supply=3.0)
+        assert NodeKind.SPLIT in node.kinds
+        assert node.is_source
+        assert node.supply == 3.0
+
+    def test_routing_kind_single(self):
+        node = make_node("n", NodeKind.PICK)
+        assert node.routing_kind is NodeKind.PICK
+
+    def test_mixed_routing_behaviors_rejected(self):
+        with pytest.raises(GraphValidationError):
+            make_node("n", NodeKind.SPLIT, NodeKind.PICK)
+
+    def test_sink_cannot_route(self):
+        with pytest.raises(GraphValidationError):
+            make_node("n", NodeKind.SINK, NodeKind.SPLIT)
+
+    def test_supply_requires_source(self):
+        with pytest.raises(GraphValidationError):
+            make_node("n", NodeKind.SPLIT, supply=1.0)
+
+    def test_multiply_needs_positive_factor(self):
+        with pytest.raises(GraphValidationError):
+            make_node("n", NodeKind.MULTIPLY, multiplier=0.0)
+
+    def test_input_spec_range_validation(self):
+        with pytest.raises(GraphValidationError):
+            InputSpec(lb=2.0, ub=1.0)
+        spec = InputSpec(lb=0.0, ub=5.0)
+        assert spec.width == 5.0
+
+    def test_is_input_detection(self):
+        node = make_node("n", NodeKind.SOURCE, supply=InputSpec(0, 10))
+        assert node.is_input
+        const = make_node("m", NodeKind.SOURCE, supply=4.0)
+        assert not const.is_input
+
+    def test_metadata_role_and_group(self):
+        node = make_node(
+            "n", NodeKind.SPLIT, metadata={"role": "path", "group": "PATHS"}
+        )
+        assert node.role() == "path"
+        assert node.group() == "PATHS"
+
+
+class TestEdge:
+    def test_negative_capacity_rejected(self):
+        g = FlowGraph()
+        g.add_node("a", NodeKind.SOURCE, supply=1.0)
+        g.add_node("b", NodeKind.SINK)
+        with pytest.raises(GraphValidationError):
+            g.add_edge("a", "b", capacity=-1.0)
+
+    def test_fixed_rate_above_capacity_rejected(self):
+        g = FlowGraph()
+        g.add_node("a", NodeKind.SOURCE, supply=5.0)
+        g.add_node("b", NodeKind.SINK)
+        with pytest.raises(GraphValidationError):
+            g.add_edge("a", "b", capacity=1.0, fixed_rate=2.0)
+
+    def test_duplicate_edge_rejected(self):
+        g = FlowGraph()
+        g.add_node("a", NodeKind.SOURCE, supply=1.0)
+        g.add_node("b", NodeKind.SINK)
+        g.add_edge("a", "b")
+        with pytest.raises(GraphValidationError):
+            g.add_edge("a", "b")
+
+    def test_unknown_endpoint_rejected(self):
+        g = FlowGraph()
+        g.add_node("a", NodeKind.SOURCE, supply=1.0)
+        with pytest.raises(GraphValidationError):
+            g.add_edge("a", "missing")
+
+
+class TestFlowGraph:
+    def build_small(self):
+        g = FlowGraph("small")
+        g.add_node("src", NodeKind.SOURCE, supply=InputSpec(0, 10))
+        g.add_node("mid", NodeKind.SPLIT)
+        g.add_node("dst", NodeKind.SINK)
+        g.add_edge("src", "mid", capacity=10)
+        g.add_edge("mid", "dst")
+        g.set_objective("dst", "max")
+        return g
+
+    def test_queries(self):
+        g = self.build_small()
+        assert g.num_nodes == 3
+        assert g.num_edges == 2
+        assert [e.dst for e in g.out_edges("src")] == ["mid"]
+        assert [e.src for e in g.in_edges("dst")] == ["mid"]
+        assert g.input_names() == ["src"]
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_validation_passes(self):
+        self.build_small().validate()
+
+    def test_objective_must_be_sink(self):
+        g = self.build_small()
+        with pytest.raises(GraphValidationError):
+            g.set_objective("mid")
+
+    def test_sink_with_outgoing_rejected(self):
+        g = FlowGraph()
+        g.add_node("a", NodeKind.SOURCE, supply=1.0)
+        g.add_node("s", NodeKind.SINK)
+        g.add_node("b", NodeKind.SPLIT)
+        g.add_edge("a", "s")
+        g.add_edge("s", "b")
+        with pytest.raises(GraphValidationError):
+            g.validate()
+
+    def test_source_with_incoming_rejected(self):
+        g = FlowGraph()
+        g.add_node("a", NodeKind.SOURCE, supply=1.0)
+        g.add_node("b", NodeKind.SOURCE, NodeKind.SPLIT, supply=1.0)
+        g.add_node("t", NodeKind.SINK)
+        g.add_edge("a", "b")
+        g.add_edge("b", "t")
+        with pytest.raises(GraphValidationError):
+            g.validate()
+
+    def test_multiply_arity_enforced(self):
+        g = FlowGraph()
+        g.add_node("a", NodeKind.SOURCE, supply=1.0)
+        g.add_node("m", NodeKind.MULTIPLY, multiplier=2.0)
+        g.add_node("t", NodeKind.SINK)
+        g.add_node("t2", NodeKind.SINK)
+        g.add_edge("a", "m")
+        g.add_edge("m", "t")
+        g.add_edge("m", "t2")
+        with pytest.raises(GraphValidationError):
+            g.validate()
+
+    def test_isolated_node_rejected(self):
+        g = self.build_small()
+        g.add_node("orphan", NodeKind.SPLIT)
+        with pytest.raises(GraphValidationError):
+            g.validate()
+
+    def test_copy_is_deep_for_structure(self):
+        g = self.build_small()
+        dup = g.copy()
+        dup.add_node("extra", NodeKind.SINK)
+        assert not g.has_node("extra")
+        assert dup.objective_node == g.objective_node
+
+    def test_describe_mentions_nodes_and_objective(self):
+        text = self.build_small().describe()
+        assert "src" in text
+        assert "objective: max inflow(dst)" in text

@@ -1,0 +1,155 @@
+"""Tests for the Type-2 explainer: scoring, heatmaps, narratives, summary."""
+
+import numpy as np
+import pytest
+
+from repro.domains.binpack import first_fit_problem
+from repro.domains.te import (
+    build_demand_set,
+    demand_pinning_problem,
+    fig1a_demand_pairs,
+    fig1a_topology,
+)
+from repro.exceptions import ExplainError
+from repro.explain import (
+    EdgeSample,
+    build_heatmap,
+    compression_ratio,
+    explain_heatmap,
+    score_sample,
+    summarize_heatmap,
+)
+from repro.subspace.region import Box
+
+
+@pytest.fixture(scope="module")
+def dp_problem():
+    ds = build_demand_set(fig1a_topology(), fig1a_demand_pairs(), num_paths=2)
+    return demand_pinning_problem(ds, threshold=50.0, d_max=100.0)
+
+
+@pytest.fixture(scope="module")
+def dp_adversarial_box():
+    # The known adversarial neighborhood: d13 near the 50 threshold,
+    # d12/d23 large.
+    return Box((40.0, 85.0, 85.0), (50.0, 100.0, 100.0))
+
+
+class TestScoring:
+    def test_three_way_scores(self):
+        both = EdgeSample(heuristic_flow=1.0, benchmark_flow=1.0)
+        only_h = EdgeSample(heuristic_flow=1.0, benchmark_flow=0.0)
+        only_b = EdgeSample(heuristic_flow=0.0, benchmark_flow=1.0)
+        neither = EdgeSample(heuristic_flow=0.0, benchmark_flow=0.0)
+        assert both.score == 0
+        assert only_h.score == -1
+        assert only_b.score == 1
+        assert neither.score == 0
+        assert not neither.either_uses
+
+    def test_tolerance(self):
+        tiny = EdgeSample(heuristic_flow=1e-9, benchmark_flow=0.0)
+        assert tiny.score == 0
+
+    def test_score_sample_union_of_edges(self):
+        scores = score_sample(
+            {("a", "b"): 1.0}, {("b", "c"): 2.0}
+        )
+        assert scores[("a", "b")].score == -1
+        assert scores[("b", "c")].score == 1
+
+
+class TestHeatmapOnDp(object):
+    def test_fig4a_colors(self, dp_problem, dp_adversarial_box):
+        rng = np.random.default_rng(0)
+        heatmap = build_heatmap(dp_problem, dp_adversarial_box, 60, rng)
+        # The paper's Fig. 4a: DP (heuristic) uses the pinned shortest
+        # path 1-2-3 (red); OPT uses the alternative 1-4-5-3 (blue).
+        shortest = heatmap.score("d[1->3]", "p[1-2-3]")
+        alternative = heatmap.score("d[1->3]", "p[1-4-5-3]")
+        assert shortest.mean_score < -0.5
+        assert alternative.mean_score > 0.5
+        assert shortest.color in ("red", "strong-red")
+        assert alternative.color in ("blue", "strong-blue")
+
+    def test_heatmap_rates_consistent(self, dp_problem, dp_adversarial_box):
+        rng = np.random.default_rng(1)
+        heatmap = build_heatmap(dp_problem, dp_adversarial_box, 40, rng)
+        for score in heatmap.scores.values():
+            assert 0.0 <= score.heuristic_use_rate <= 1.0
+            assert 0.0 <= score.benchmark_use_rate <= 1.0
+            assert -1.0 <= score.mean_score <= 1.0
+
+    def test_explicit_points_accepted(self, dp_problem):
+        x = np.array([[50.0, 100.0, 100.0]])
+        heatmap = build_heatmap(
+            dp_problem, x, num_samples=1, rng=np.random.default_rng(0)
+        )
+        assert heatmap.num_samples == 1
+
+    def test_render_contains_edges(self, dp_problem, dp_adversarial_box):
+        rng = np.random.default_rng(2)
+        heatmap = build_heatmap(dp_problem, dp_adversarial_box, 30, rng)
+        text = heatmap.render()
+        assert "p[1-2-3]" in text
+        assert "heuristic-only" in text
+
+    def test_problem_without_flows_rejected(self):
+        from repro.analyzer import AnalyzedProblem, GapSample
+
+        bare = AnalyzedProblem(
+            name="bare",
+            input_names=["x"],
+            input_box=Box((0.0,), (1.0,)),
+            evaluate=lambda x: GapSample(x, 0.0, 0.0),
+        )
+        with pytest.raises(ExplainError):
+            build_heatmap(
+                bare, bare.input_box, 5, np.random.default_rng(0)
+            )
+
+
+class TestNarrative:
+    def test_dp_story_matches_paper(self, dp_problem, dp_adversarial_box):
+        rng = np.random.default_rng(3)
+        heatmap = build_heatmap(dp_problem, dp_adversarial_box, 60, rng)
+        report = explain_heatmap(heatmap, dp_problem.graph)
+        text = report.render()
+        # The heuristic routes 1~>3 over its shortest path...
+        assert "1~>3" in text
+        assert "shortest path" in text
+        assert report.heuristic_side and report.benchmark_side
+
+    def test_no_divergence_report(self, dp_problem):
+        # Demands far below threshold where DP == OPT: no divergence.
+        rng = np.random.default_rng(4)
+        box = Box((1.0, 1.0, 1.0), (5.0, 5.0, 5.0))
+        heatmap = build_heatmap(dp_problem, box, 20, rng)
+        report = explain_heatmap(heatmap, dp_problem.graph)
+        assert not report.heuristic_side
+        assert "same structural decisions" in report.render() or "no systematic" in report.render()
+
+
+class TestSummarize:
+    def test_groups_by_role(self, dp_problem, dp_adversarial_box):
+        rng = np.random.default_rng(5)
+        heatmap = build_heatmap(dp_problem, dp_adversarial_box, 40, rng)
+        summaries = summarize_heatmap(heatmap, dp_problem.graph)
+        keys = {s.key for s in summaries}
+        assert any("DEMANDS" in k for k in keys)
+        assert any("PATHS" in k for k in keys)
+
+    def test_compression(self, dp_problem, dp_adversarial_box):
+        rng = np.random.default_rng(6)
+        heatmap = build_heatmap(dp_problem, dp_adversarial_box, 40, rng)
+        summaries = summarize_heatmap(heatmap, dp_problem.graph)
+        ratio = compression_ratio(heatmap, summaries)
+        assert 0.0 < ratio < 1.0  # summary is strictly smaller
+
+    def test_vbp_summary_groups(self):
+        problem = first_fit_problem(num_balls=3, num_bins=3)
+        rng = np.random.default_rng(7)
+        box = Box((0.3, 0.5, 0.5), (0.5, 0.6, 0.6))
+        heatmap = build_heatmap(problem, box, 25, rng)
+        summaries = summarize_heatmap(heatmap, problem.graph)
+        assert any("BALLS" in s.key for s in summaries)

@@ -1,0 +1,88 @@
+"""Tests for the flow-volume delta extension (§5.3 open question)."""
+
+import numpy as np
+import pytest
+
+from repro.domains.te import (
+    build_demand_set,
+    demand_pinning_problem,
+    fig1a_demand_pairs,
+    fig1a_topology,
+)
+from repro.explain import build_heatmap
+from repro.explain.heatmap import EdgeScore
+from repro.subspace import Box
+
+
+def make_score(h_flow, b_flow, score=0.0):
+    return EdgeScore(
+        edge=("a", "b"),
+        mean_score=score,
+        heuristic_use_rate=1.0,
+        benchmark_use_rate=1.0,
+        mean_heuristic_flow=h_flow,
+        mean_benchmark_flow=b_flow,
+        samples=10,
+    )
+
+
+class TestFlowDelta:
+    def test_delta_sign_convention(self):
+        assert make_score(2.0, 5.0).flow_delta == pytest.approx(3.0)
+        assert make_score(5.0, 2.0).flow_delta == pytest.approx(-3.0)
+
+    def test_volume_divergence_invisible_to_score(self):
+        # Both sides use the edge (score 0), but volumes differ a lot:
+        # exactly the case the paper's open question is about.
+        score = make_score(1.0, 9.0, score=0.0)
+        assert score.mean_score == 0.0
+        assert score.flow_delta == pytest.approx(8.0)
+
+
+class TestHeatmapFlowDeltas:
+    @pytest.fixture(scope="class")
+    def dp_heatmap(self):
+        demand_set = build_demand_set(
+            fig1a_topology(), fig1a_demand_pairs(), num_paths=2
+        )
+        problem = demand_pinning_problem(
+            demand_set, threshold=50.0, d_max=100.0
+        )
+        box = Box((40.0, 85.0, 85.0), (50.0, 100.0, 100.0))
+        return build_heatmap(
+            problem, box, 40, np.random.default_rng(0)
+        )
+
+    def test_deltas_ranked_by_magnitude(self, dp_heatmap):
+        deltas = dp_heatmap.flow_deltas(min_delta=1e-9)
+        magnitudes = [abs(d.flow_delta) for d in deltas]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_volume_story_on_shared_route(self, dp_heatmap):
+        """The d(1->2) demand routes over p[1-2] under BOTH algorithms
+        (score ~0 there), but DP only fits ~55 of it next to the pinned
+        flow while OPT routes ~94: the volume table surfaces this."""
+        shared = dp_heatmap.score("d[1->2]", "p[1-2]")
+        assert shared.heuristic_use_rate > 0.9
+        assert shared.benchmark_use_rate > 0.9
+        assert abs(shared.mean_score) < 0.2  # invisible to the 3-way score
+        assert shared.flow_delta > 20.0  # but glaring in volumes
+
+    def test_saturated_link_has_negative_delta(self, dp_heatmap):
+        """DP saturates l[1-2] (pinned + partial d12 = 100) while OPT
+        carries only d12 there: the heuristic-side volume is higher."""
+        shared = dp_heatmap.score("l[1-2]", "met")
+        assert shared.mean_heuristic_flow == pytest.approx(100.0, abs=1.0)
+        assert shared.flow_delta < 0.0
+
+    def test_render_contains_edge_and_sides(self, dp_heatmap):
+        text = dp_heatmap.render_flow_deltas(max_rows=6)
+        assert "flow deltas" in text
+        assert "->" in text
+        assert ("B>" in text) or ("H<" in text)
+
+    def test_render_no_divergence(self):
+        from repro.explain.heatmap import Heatmap
+
+        empty = Heatmap(scores={}, num_samples=0)
+        assert "no volume divergence" in empty.render_flow_deltas()

@@ -1,0 +1,106 @@
+"""Integration: the full XPlain pipeline on Demand Pinning (Fig. 1a/4a)."""
+
+import numpy as np
+import pytest
+
+from repro import XPlain, XPlainConfig
+from repro.domains.te import (
+    build_demand_set,
+    demand_pinning_problem,
+    fig1a_demand_pairs,
+    fig1a_topology,
+)
+from repro.subspace import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def dp_report():
+    demand_set = build_demand_set(
+        fig1a_topology(), fig1a_demand_pairs(), num_paths=2
+    )
+    problem = demand_pinning_problem(demand_set, threshold=50.0, d_max=100.0)
+    config = XPlainConfig(
+        generator=GeneratorConfig(
+            max_subspaces=1,
+            tree_extra_samples=120,
+            significance_pairs=24,
+            seed=2,
+        ),
+        explainer_samples=60,
+        generalizer_samples=80,
+        seed=2,
+    )
+    return XPlain(problem, config).run()
+
+
+class TestDpEndToEnd:
+    def test_worst_gap_is_100(self, dp_report):
+        assert dp_report.worst_gap == pytest.approx(100.0, abs=1e-3)
+
+    def test_type1_subspace_found_and_significant(self, dp_report):
+        assert dp_report.num_subspaces >= 1
+        subspace = dp_report.explained[0].subspace
+        assert subspace.significant
+        assert subspace.significance.p_value < 0.05
+
+    def test_type1_shape_matches_section3(self, dp_report):
+        """§3 Type 1: the pinnable demand's coordinate stays at/below the
+        threshold inside the subspace; the interfering demands are large."""
+        region = dp_report.explained[0].subspace.region
+        names = dp_report.problem.input_names
+        i13 = names.index("1->3")
+        # d13's box upper edge sits near the threshold 50.
+        assert region.box.hi[i13] <= 60.0
+        # the other demands' box lower edges are high (they must congest
+        # the shared links).
+        for key in ("1->2", "2->3"):
+            idx = names.index(key)
+            assert region.box.lo[idx] >= 60.0
+
+    def test_type2_heatmap_matches_fig4a(self, dp_report):
+        """Fig. 4a: DP-only red on the pinned shortest path, OPT-only blue
+        on the alternative path."""
+        heatmap = dp_report.explained[0].heatmap
+        red = heatmap.score("d[1->3]", "p[1-2-3]")
+        blue = heatmap.score("d[1->3]", "p[1-4-5-3]")
+        assert red.mean_score < -0.5
+        assert blue.mean_score > 0.5
+
+    def test_type2_narrative_story(self, dp_report):
+        text = dp_report.explained[0].narrative.render()
+        assert "1~>3" in text
+
+    def test_type3_checked_dp_features(self, dp_report):
+        """Within-instance generalization runs over the DP features and the
+        pinnable-volume trend is checked (§5.4 in miniature)."""
+        result = dp_report.generalization
+        assert result is not None
+        checked_features = {c.feature for c in result.checked}
+        assert "pinnable_count" in checked_features or "pinnable_volume" in checked_features
+
+    def test_seeds_reproduce(self):
+        demand_set = build_demand_set(
+            fig1a_topology(), fig1a_demand_pairs(), num_paths=2
+        )
+        problem = demand_pinning_problem(
+            demand_set, threshold=50.0, d_max=100.0
+        )
+        config = XPlainConfig(
+            generator=GeneratorConfig(
+                max_subspaces=1,
+                tree_extra_samples=60,
+                significance_pairs=24,
+                seed=3,
+            ),
+            explainer_samples=0 or 20,
+            generalizer_samples=0,
+            seed=3,
+        )
+        first = XPlain(problem, config).run()
+        second = XPlain(problem, config).run()
+        assert first.worst_gap == second.worst_gap
+        if first.explained and second.explained:
+            assert np.allclose(
+                first.explained[0].subspace.region.box.lo_array,
+                second.explained[0].subspace.region.box.lo_array,
+            )

@@ -1,0 +1,163 @@
+"""Unit tests for linear expressions, variables and constraints."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.solver import LinExpr, Model, Relation, VarType, quicksum
+
+
+@pytest.fixture()
+def model():
+    return Model("expr-tests")
+
+
+class TestVariable:
+    def test_default_domain_is_nonnegative(self, model):
+        x = model.add_var("x")
+        assert x.lb == 0.0
+        assert x.ub == math.inf
+        assert x.vartype is VarType.CONTINUOUS
+
+    def test_binary_bounds_are_clamped(self, model):
+        b = model.add_var("b", lb=-5, ub=9, vartype="binary")
+        assert b.lb == 0.0
+        assert b.ub == 1.0
+        assert b.vartype is VarType.BINARY
+
+    def test_inverted_bounds_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.add_var("bad", lb=2.0, ub=1.0)
+
+    def test_duplicate_names_rejected(self, model):
+        model.add_var("x")
+        with pytest.raises(ModelError):
+            model.add_var("x")
+
+    def test_same_var_identity(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        assert x.same_var(x)
+        assert not x.same_var(y)
+
+    def test_hashable_and_usable_as_dict_key(self, model):
+        x = model.add_var("x")
+        d = {x: 3.0}
+        assert d[x] == 3.0
+
+
+class TestLinExpr:
+    def test_addition_merges_terms(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        expr = (x + y) + (x - y)
+        assert expr.coefficient(x) == pytest.approx(2.0)
+        assert expr.coefficient(y) == pytest.approx(0.0)
+        assert y not in expr.terms
+
+    def test_scalar_multiplication(self, model):
+        x = model.add_var("x")
+        expr = 3 * (2 * x + 4)
+        assert expr.coefficient(x) == pytest.approx(6.0)
+        assert expr.constant == pytest.approx(12.0)
+
+    def test_division(self, model):
+        x = model.add_var("x")
+        expr = (4 * x + 2) / 2
+        assert expr.coefficient(x) == pytest.approx(2.0)
+        assert expr.constant == pytest.approx(1.0)
+
+    def test_negation(self, model):
+        x = model.add_var("x")
+        expr = -(x + 1)
+        assert expr.coefficient(x) == pytest.approx(-1.0)
+        assert expr.constant == pytest.approx(-1.0)
+
+    def test_rsub(self, model):
+        x = model.add_var("x")
+        expr = 5 - x
+        assert expr.coefficient(x) == pytest.approx(-1.0)
+        assert expr.constant == pytest.approx(5.0)
+
+    def test_evaluate(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        expr = 2 * x - 3 * y + 1
+        assert expr.evaluate({x: 2.0, y: 1.0}) == pytest.approx(2.0)
+
+    def test_near_zero_coefficients_dropped(self, model):
+        x = model.add_var("x")
+        expr = x - x
+        assert expr.is_constant
+
+    def test_multiplying_expressions_rejected(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        with pytest.raises(ModelError):
+            (x + 1) * (y + 1)  # type: ignore[operator]
+
+    def test_nonfinite_coefficient_rejected(self, model):
+        x = model.add_var("x")
+        with pytest.raises(ModelError):
+            LinExpr({x: float("nan")})
+
+    def test_quicksum_matches_naive_sum(self, model):
+        xs = model.add_vars(10, "v")
+        fast = quicksum(xs)
+        slow = sum(xs[1:], xs[0] + 0)
+        for x in xs:
+            assert fast.coefficient(x) == pytest.approx(slow.coefficient(x))
+
+    def test_quicksum_with_constants(self, model):
+        x = model.add_var("x")
+        expr = quicksum([x, 2, 3.5])
+        assert expr.constant == pytest.approx(5.5)
+
+
+class TestConstraint:
+    def test_le_normalization(self, model):
+        x = model.add_var("x")
+        con = model.add_constraint(2 * x + 3 <= 7)
+        assert con.relation is Relation.LE
+        assert con.rhs == pytest.approx(4.0)
+
+    def test_ge_from_variable(self, model):
+        x = model.add_var("x")
+        con = model.add_constraint(x >= 2)
+        assert con.relation is Relation.GE
+        assert con.rhs == pytest.approx(2.0)
+
+    def test_eq_from_equality_operator(self, model):
+        x = model.add_var("x")
+        y = model.add_var("y")
+        con = model.add_constraint(x + y == 4)
+        assert con.relation is Relation.EQ
+        assert con.rhs == pytest.approx(4.0)
+
+    def test_violation_measures(self, model):
+        x = model.add_var("x")
+        le = x <= 1
+        assert le.violation({x: 3.0}) == pytest.approx(2.0)
+        assert le.violation({x: 0.5}) == 0.0
+        ge = x >= 1
+        assert ge.violation({x: 0.0}) == pytest.approx(1.0)
+        eq = x == 1
+        assert eq.violation({x: 3.0}) == pytest.approx(2.0)
+
+    def test_is_satisfied_with_tolerance(self, model):
+        x = model.add_var("x")
+        con = x <= 1
+        assert con.is_satisfied({x: 1.0 + 1e-9})
+        assert not con.is_satisfied({x: 1.1})
+
+    def test_reversed_comparison_against_number(self, model):
+        x = model.add_var("x")
+        con = model.add_constraint(3 <= x)  # becomes x >= 3
+        assert con.is_satisfied({x: 4.0})
+        assert not con.is_satisfied({x: 2.0})
+
+    def test_relation_flipped(self):
+        assert Relation.LE.flipped() is Relation.GE
+        assert Relation.GE.flipped() is Relation.LE
+        assert Relation.EQ.flipped() is Relation.EQ

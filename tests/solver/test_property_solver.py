@@ -1,0 +1,153 @@
+"""Property-based tests: the from-scratch solver against SciPy/HiGHS.
+
+These are the substitution-soundness tests promised in DESIGN.md: on random
+LPs and MILPs, the two independently implemented backends must agree on
+status and optimal value.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.solver import Model, SolveStatus, quicksum
+from repro.solver.presolve import solve_with_presolve
+
+N_VARS = st.integers(min_value=1, max_value=6)
+N_CONS = st.integers(min_value=1, max_value=8)
+COEFF = st.integers(min_value=-5, max_value=5)
+
+
+def build_random_lp(draw_coeffs, n, m, ubs, sense):
+    """Build a bounded random LP (finite var bounds keep it bounded)."""
+    model = Model(sense=sense)
+    xs = [model.add_var(f"x{i}", lb=0.0, ub=ubs[i]) for i in range(n)]
+    idx = 0
+    for _ in range(m):
+        row = draw_coeffs[idx : idx + n]
+        idx += n
+        rhs = draw_coeffs[idx]
+        idx += 1
+        expr = quicksum(c * x for c, x in zip(row, xs))
+        model.add_constraint(expr <= rhs + 5)  # +5 biases toward feasible
+    obj_row = draw_coeffs[idx : idx + n]
+    model.set_objective(quicksum(c * x for c, x in zip(obj_row, xs)))
+    return model, xs
+
+
+@st.composite
+def random_lp(draw):
+    n = draw(N_VARS)
+    m = draw(N_CONS)
+    coeffs = draw(
+        st.lists(COEFF, min_size=m * (n + 1) + n, max_size=m * (n + 1) + n)
+    )
+    ubs = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=10), min_size=n, max_size=n
+        )
+    )
+    sense = draw(st.sampled_from(["min", "max"]))
+    return build_random_lp(coeffs, n, m, ubs, sense)
+
+
+class TestSimplexAgainstScipy:
+    @settings(max_examples=60, deadline=None)
+    @given(random_lp())
+    def test_same_status_and_objective(self, built):
+        model, _ = built
+        ours = model.solve(backend="simplex")
+        scipy_sol = model.solve(backend="scipy")
+        assert ours.status == scipy_sol.status
+        if ours.status is SolveStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(
+                scipy_sol.objective, abs=1e-6
+            )
+            assert model.is_feasible(ours.values)
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_lp())
+    def test_presolve_preserves_optimum(self, built):
+        model, _ = built
+        direct = model.solve(backend="scipy")
+        via = solve_with_presolve(model, backend="scipy")
+        assert direct.status == via.status
+        if direct.status is SolveStatus.OPTIMAL:
+            assert via.objective == pytest.approx(direct.objective, abs=1e-6)
+            assert model.is_feasible(via.values)
+
+
+@st.composite
+def random_milp(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    m = draw(st.integers(min_value=1, max_value=5))
+    coeffs = draw(
+        st.lists(COEFF, min_size=m * (n + 1) + n, max_size=m * (n + 1) + n)
+    )
+    kinds = draw(
+        st.lists(
+            st.sampled_from(["continuous", "integer", "binary"]),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    sense = draw(st.sampled_from(["min", "max"]))
+    model = Model(sense=sense)
+    xs = [
+        model.add_var(f"x{i}", lb=0.0, ub=4.0, vartype=kinds[i])
+        for i in range(n)
+    ]
+    idx = 0
+    for _ in range(m):
+        row = coeffs[idx : idx + n]
+        idx += n
+        rhs = coeffs[idx]
+        idx += 1
+        model.add_constraint(
+            quicksum(c * x for c, x in zip(row, xs)) <= rhs + 4
+        )
+    model.set_objective(
+        quicksum(c * x for c, x in zip(coeffs[idx : idx + n], xs))
+    )
+    return model
+
+
+class TestBranchAndBoundAgainstScipy:
+    @settings(max_examples=40, deadline=None)
+    @given(random_milp())
+    def test_same_milp_objective(self, model):
+        ours = model.solve(backend="simplex")
+        scipy_sol = model.solve(backend="scipy")
+        assert ours.status == scipy_sol.status
+        if ours.status is SolveStatus.OPTIMAL:
+            assert ours.objective == pytest.approx(
+                scipy_sol.objective, abs=1e-6
+            )
+            assert model.is_feasible(ours.values)
+
+    @settings(max_examples=25, deadline=None)
+    @given(random_milp())
+    def test_integrality_of_solution(self, model):
+        sol = model.solve(backend="simplex")
+        if sol.status is SolveStatus.OPTIMAL:
+            for var, value in sol.values.items():
+                if var.vartype.is_integral:
+                    assert value == pytest.approx(round(value), abs=1e-6)
+
+
+class TestSolverDeterminism:
+    def test_repeat_solves_identical(self):
+        rng = np.random.default_rng(7)
+        m = Model(sense="max")
+        xs = m.add_vars(8, "x", ub=5)
+        for _ in range(6):
+            coeffs = rng.integers(-3, 4, size=8)
+            m.add_constraint(
+                quicksum(int(c) * x for c, x in zip(coeffs, xs)) <= 10
+            )
+        m.set_objective(quicksum(xs))
+        first = m.solve(backend="simplex")
+        second = m.solve(backend="simplex")
+        assert first.objective == second.objective
+        for x in xs:
+            assert first[x] == second[x]

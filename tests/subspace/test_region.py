@@ -1,0 +1,163 @@
+"""Tests for the region algebra (boxes, halfspaces, Fig. 5c form)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import SubspaceError
+from repro.subspace.region import Box, Halfspace, Region
+
+
+class TestBox:
+    def test_membership(self):
+        box = Box((0.0, 0.0), (1.0, 2.0))
+        assert box.contains(np.array([0.5, 1.5]))
+        assert not box.contains(np.array([1.5, 0.5]))
+        assert box.contains(np.array([0.0, 0.0]))  # boundary inclusive
+
+    def test_contains_many(self):
+        box = Box((0.0,), (1.0,))
+        xs = np.array([[0.5], [2.0], [-1.0]])
+        assert list(box.contains_many(xs)) == [True, False, False]
+
+    def test_empty_side_rejected(self):
+        with pytest.raises(SubspaceError):
+            Box((1.0,), (0.0,))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(SubspaceError):
+            Box((0.0,), (1.0, 2.0))
+
+    def test_around_clips_to_bounds(self):
+        bounds = Box((0.0, 0.0), (1.0, 1.0))
+        box = Box.around(np.array([0.05, 0.95]), 0.2, bounds=bounds)
+        assert box.lo[0] == 0.0
+        assert box.hi[1] == 1.0
+
+    def test_expanded_direction(self):
+        box = Box((0.4,), (0.6,))
+        grown_up = box.expanded(0, +1, 0.1)
+        assert grown_up.hi[0] == pytest.approx(0.7)
+        grown_down = box.expanded(0, -1, 0.1)
+        assert grown_down.lo[0] == pytest.approx(0.3)
+
+    def test_expanded_respects_bounds(self):
+        bounds = Box((0.0,), (1.0,))
+        box = Box((0.9,), (1.0,))
+        grown = box.expanded(0, +1, 0.5, bounds=bounds)
+        assert grown.hi[0] == 1.0
+
+    def test_intersect(self):
+        a = Box((0.0, 0.0), (1.0, 1.0))
+        b = Box((0.5, 0.5), (2.0, 2.0))
+        both = a.intersect(b)
+        assert both == Box((0.5, 0.5), (1.0, 1.0))
+        disjoint = Box((2.0, 2.0), (3.0, 3.0))
+        assert a.intersect(disjoint) is None
+        assert not a.overlaps(disjoint)
+
+    def test_volume_and_widths(self):
+        box = Box((0.0, 0.0), (2.0, 3.0))
+        assert box.volume() == pytest.approx(6.0)
+        assert list(box.widths) == [2.0, 3.0]
+        assert list(box.center) == [1.0, 1.5]
+
+    def test_sampling_stays_inside(self):
+        box = Box((0.2, 0.4), (0.3, 0.9))
+        rng = np.random.default_rng(0)
+        samples = box.sample(rng, 100)
+        assert samples.shape == (100, 2)
+        assert np.all(box.contains_many(samples))
+
+    def test_clip_point(self):
+        box = Box((0.0,), (1.0,))
+        assert box.clip_point(np.array([2.0]))[0] == 1.0
+
+    def test_describe_uses_names(self):
+        box = Box((0.0,), (1.0,))
+        assert "demand" in box.describe(["demand"])
+
+
+class TestHalfspace:
+    def test_axis_below(self):
+        h = Halfspace.axis(1, 3, threshold=0.5, below=True)
+        assert h.contains(np.array([9.0, 0.4, 9.0]))
+        assert not h.contains(np.array([0.0, 0.6, 0.0]))
+
+    def test_axis_above(self):
+        h = Halfspace.axis(0, 2, threshold=0.5, below=False)
+        assert h.contains(np.array([0.6, 0.0]))
+        assert not h.contains(np.array([0.4, 0.0]))
+
+    def test_general_coefficients(self):
+        # x + y <= 1.5 (the paper's sum predicate, negated direction)
+        h = Halfspace((1.0, 1.0), 1.5)
+        assert h.contains(np.array([0.7, 0.7]))
+        assert not h.contains(np.array([0.9, 0.7]))
+
+    def test_contains_many(self):
+        h = Halfspace((1.0, 0.0), 0.5)
+        xs = np.array([[0.4, 9.0], [0.6, 9.0]])
+        assert list(h.contains_many(xs)) == [True, False]
+
+    def test_describe(self):
+        h = Halfspace((1.0, -2.0), 0.25)
+        text = h.describe(["a", "b"])
+        assert "+1*a" in text and "-2*b" in text and "0.25" in text
+
+
+class TestRegion:
+    def region(self):
+        return Region(
+            box=Box((0.0, 0.0), (1.0, 1.0)),
+            halfspaces=[Halfspace((1.0, 1.0), 1.2)],
+        )
+
+    def test_membership_combines(self):
+        region = self.region()
+        assert region.contains(np.array([0.5, 0.5]))
+        assert not region.contains(np.array([0.9, 0.9]))  # fails halfspace
+        assert not region.contains(np.array([1.5, 0.0]))  # fails box
+
+    def test_sampling_respects_halfspaces(self):
+        region = self.region()
+        rng = np.random.default_rng(1)
+        samples = region.sample(rng, 64)
+        assert np.all(region.contains_many(samples))
+
+    def test_sampling_impossible_region_raises(self):
+        region = Region(
+            box=Box((0.0,), (1.0,)),
+            halfspaces=[Halfspace((1.0,), -5.0)],  # x <= -5: empty
+        )
+        rng = np.random.default_rng(0)
+        with pytest.raises(SubspaceError):
+            region.sample(rng, 8, max_tries=5)
+
+    def test_matrix_form_matches_fig5c(self):
+        region = self.region()
+        a, c, t, v = region.matrix_form()
+        assert a.shape == (4, 2)  # [I; -I]
+        assert np.allclose(a[:2], np.eye(2))
+        assert np.allclose(a[2:], -np.eye(2))
+        assert list(c) == [1.0, 1.0, 0.0, 0.0]
+        assert t.shape == (1, 2)
+        assert v[0] == pytest.approx(1.2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=2
+        )
+    )
+    def test_membership_consistent_with_matrix_form(self, point):
+        region = self.region()
+        x = np.array(point)
+        a, c, t, v = region.matrix_form()
+        algebraic = bool(np.all(a @ x <= c + 1e-9) and np.all(t @ x <= v + 1e-9))
+        assert algebraic == region.contains(x)
+
+    def test_describe(self):
+        text = self.region().describe(["u", "w"])
+        assert "box:" in text and "and:" in text

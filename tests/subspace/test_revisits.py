@@ -1,0 +1,96 @@
+"""Tests for the §5.2 revisit budget on insignificant areas."""
+
+import numpy as np
+import pytest
+
+from repro.analyzer import AnalyzedProblem, GapSample
+from repro.subspace import (
+    AdversarialSubspaceGenerator,
+    Box,
+    GeneratorConfig,
+)
+
+
+class CountingAnalyzer:
+    """Deterministic fake analyzer: always returns the same point."""
+
+    def __init__(self, point, gap):
+        self.point = np.asarray(point, dtype=float)
+        self.gap = gap
+        self.calls = 0
+        self.excluded_seen: list[int] = []
+
+    def find_adversarial(self, excluded=None, min_gap=0.0):
+        self.calls += 1
+        self.excluded_seen.append(len(excluded or []))
+        if any(box.contains(self.point) for box in (excluded or [])):
+            return None
+        if self.gap <= min_gap:
+            return None
+        from repro.analyzer.interface import AdversarialExample
+
+        return AdversarialExample(
+            x=self.point.copy(),
+            predicted_gap=self.gap,
+            validated_gap=self.gap,
+            analyzer="fake",
+        )
+
+
+def isolated_spike_problem():
+    """Gap 1 only at one exact point (measure zero).
+
+    Random sampling never observes a positive gap, so every candidate
+    region deterministically fails the significance test — the setting the
+    revisit budget exists for.
+    """
+
+    def evaluate(x):
+        gap = 1.0 if np.array_equal(x, np.array([0.5, 0.5])) else 0.0
+        return GapSample(x=x, benchmark_value=gap, heuristic_value=0.0)
+
+    return AnalyzedProblem(
+        name="spike",
+        input_names=["a", "b"],
+        input_box=Box.from_arrays(np.zeros(2), np.ones(2)),
+        evaluate=evaluate,
+    )
+
+
+class TestRevisitBudget:
+    def _run(self, max_revisits):
+        problem = isolated_spike_problem()
+        analyzer = CountingAnalyzer([0.5, 0.5], gap=1.0)
+        generator = AdversarialSubspaceGenerator(
+            problem,
+            analyzer,
+            GeneratorConfig(
+                max_subspaces=5,
+                max_revisits=max_revisits,
+                tree_extra_samples=40,
+                significance_pairs=24,
+                seed=0,
+            ),
+        )
+        report = generator.run()
+        return report, analyzer
+
+    def test_no_revisits_excludes_immediately(self):
+        report, analyzer = self._run(max_revisits=0)
+        # First rejection excludes the area; the second analyzer call sees
+        # the exclusion and returns None -> exactly 2 calls.
+        assert len(report.rejected) == 1
+        assert analyzer.calls == 2
+
+    def test_revisits_allow_reexamination(self):
+        report, analyzer = self._run(max_revisits=2)
+        # The area is re-examined twice before being excluded: three
+        # rejections, then exclusion, then the final None call.
+        assert len(report.rejected) == 3
+        assert analyzer.calls == 4
+
+    def test_loop_always_terminates(self):
+        # Even with a generous budget the loop is bounded by max_subspaces.
+        report, analyzer = self._run(max_revisits=100)
+        assert len(report.rejected) == 5
+        assert analyzer.calls == 5
