@@ -1,0 +1,159 @@
+"""ORACLE: gap-oracle throughput — scalar vs batched vs cached.
+
+Not a paper artifact: this tracks the batched gap-oracle engine
+(DESIGN.md, "Batched gap-oracle engine") from the PR that introduced it
+onward. The §5.2 generator draws thousands of oracle samples per subspace,
+so oracle points/sec bounds end-to-end pipeline throughput.
+
+Three regimes on the TE demand-pinning problem (Fig. 1a topology):
+
+* **scalar** — the seed path: fresh ``Model`` build + SciPy solve per
+  point, per side (benchmark and heuristic);
+* **batched** — parametric LP templates with warm-started simplex
+  re-solves (``sample_in_box``'s path since the engine landed);
+* **cached** — the same points re-queried, served by the quantized-key
+  memo cache.
+
+The acceptance bar for the engine PR was batched >= 5x scalar on
+``sample_in_box``; the benchmark asserts it so regressions fail loudly.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import comparison_row, report
+from repro.domains.te import demand_pinning_problem
+from repro.subspace.region import Box
+from repro.subspace.sampler import sample_in_box
+
+POINTS = 240
+
+
+def _fresh_problem(fig1a_demand_set):
+    return demand_pinning_problem(
+        fig1a_demand_set, threshold=50.0, d_max=100.0
+    )
+
+
+def _scalar_pps(problem, points):
+    """Seed-path throughput: raw scalar oracle, no engine, no templates."""
+    start = time.perf_counter()
+    for x in points:
+        problem.evaluate(x)
+    return len(points) / (time.perf_counter() - start)
+
+
+def _batched_pps(problem, points):
+    problem.configure_oracle(cache=False)
+    start = time.perf_counter()
+    problem.evaluate_many(points)
+    return len(points) / (time.perf_counter() - start)
+
+
+def _cached_pps(problem, points):
+    engine = problem.configure_oracle(cache=True)
+    problem.evaluate_many(points)  # warm the cache
+    start = time.perf_counter()
+    problem.evaluate_many(points)
+    elapsed = time.perf_counter() - start
+    stats = engine.stats_snapshot()
+    assert stats.cache_hits >= len(points)
+    return len(points) / elapsed
+
+
+def test_oracle_throughput(benchmark, fig1a_demand_set):
+    problem = _fresh_problem(fig1a_demand_set)
+    rng = np.random.default_rng(0)
+    points = rng.uniform(0.0, 100.0, size=(POINTS, problem.dim))
+
+    scalar_pps = _scalar_pps(problem, points)
+    batched_pps = benchmark.pedantic(
+        lambda: _batched_pps(problem, points), rounds=1, iterations=1
+    )
+    cached_pps = _cached_pps(problem, points)
+
+    benchmark.extra_info["scalar_pps"] = scalar_pps
+    benchmark.extra_info["batched_pps"] = batched_pps
+    benchmark.extra_info["cached_pps"] = cached_pps
+
+    stats = problem.oracle.stats_snapshot()
+    rows = [
+        "ORACLE - gap-oracle throughput (TE demand pinning, fig. 1a)",
+        comparison_row("scalar (seed path)", "-", f"{scalar_pps:,.0f} pts/s"),
+        comparison_row(
+            "batched (templates + warm start)",
+            ">= 5x scalar",
+            f"{batched_pps:,.0f} pts/s ({batched_pps / scalar_pps:.1f}x)",
+        ),
+        comparison_row(
+            "cached (memo hits)",
+            "-",
+            f"{cached_pps:,.0f} pts/s ({cached_pps / scalar_pps:.0f}x)",
+        ),
+        comparison_row(
+            "warm-start rate",
+            "-",
+            f"{stats.warm_rate:.0%} ({stats.warm_solves}/{stats.warm_solves + stats.cold_solves})",
+        ),
+    ]
+    report(benchmark, rows)
+
+    assert batched_pps >= 5.0 * scalar_pps
+    assert cached_pps > batched_pps
+
+
+def test_sample_in_box_speedup(benchmark, fig1a_demand_set):
+    """The ISSUE's acceptance measurement: ``sample_in_box`` end to end."""
+    problem = _fresh_problem(fig1a_demand_set)
+    box = Box.from_arrays(
+        np.zeros(problem.dim), np.full(problem.dim, 100.0)
+    )
+
+    # Seed path reconstruction: scalar loop over the raw oracle.
+    rng = np.random.default_rng(1)
+    start = time.perf_counter()
+    seed_points = box.sample(rng, POINTS)
+    for x in seed_points:
+        problem.evaluate(x)
+    seed_seconds = time.perf_counter() - start
+
+    def run_batched():
+        run_rng = np.random.default_rng(1)
+        start = time.perf_counter()
+        samples = sample_in_box(problem, box, POINTS, 10.0, run_rng)
+        assert samples.size == POINTS
+        return time.perf_counter() - start
+
+    problem.configure_oracle(cache=True)
+    batched_seconds = benchmark.pedantic(run_batched, rounds=1, iterations=1)
+    cached_seconds = run_batched()  # same rng seed: all points memoized
+    speedup = seed_seconds / batched_seconds
+
+    benchmark.extra_info["seed_seconds"] = seed_seconds
+    benchmark.extra_info["batched_seconds"] = batched_seconds
+    benchmark.extra_info["cached_seconds"] = cached_seconds
+    benchmark.extra_info["speedup"] = speedup
+
+    rows = [
+        "ORACLE - sample_in_box on the TE demand-pinning oracle",
+        comparison_row(
+            "seed scalar path", "-", f"{seed_seconds * 1e3:.0f} ms / {POINTS} pts"
+        ),
+        comparison_row(
+            "batched engine",
+            ">= 5x faster",
+            f"{batched_seconds * 1e3:.0f} ms ({speedup:.1f}x)",
+        ),
+        comparison_row(
+            "re-sampled (cache hot)",
+            "-",
+            f"{cached_seconds * 1e3:.0f} ms "
+            f"({seed_seconds / cached_seconds:.0f}x)",
+        ),
+    ]
+    report(benchmark, rows)
+
+    assert speedup >= 5.0

@@ -21,6 +21,7 @@ from repro.analyzer.interface import (
     AnalyzedProblem,
     ExactEncoding,
     GapSample,
+    GapSamples,
 )
 
 __all__ = [
@@ -30,6 +31,7 @@ __all__ = [
     "ExactEncoding",
     "ExclusionCoversSpace",
     "GapSample",
+    "GapSamples",
     "GapStatistics",
     "MetaOptAnalyzer",
     "add_box_exclusion",

@@ -74,20 +74,45 @@ class BlackBoxAnalyzer:
         self.history.append((x.copy(), gap))
         return gap
 
+    #: total draws allowed per unit of budget before random search gives up
+    #: on finding admissible points (exclusion boxes may cover nearly the
+    #: whole input box; unbounded rejection would never terminate)
+    MAX_DRAW_FACTOR = 50
+
     def _random_search(
         self, rng: np.random.Generator, excluded: list[Box]
     ) -> tuple[np.ndarray | None, float]:
+        """Uniform search, vectorized: draw batches, reject by exclusion
+        masks (:meth:`Box.contains_many`), evaluate through the batched
+        oracle. Only the first ``budget`` admissible points of the draw
+        stream are evaluated — identical to drawing one point at a time —
+        and total draws are capped so full exclusion coverage terminates
+        with the best point seen so far (or None when nothing admissible
+        was ever drawn).
+        """
         box = self.problem.input_box
         best_x, best_gap = None, -np.inf
         spent = 0
-        while spent < self.budget:
-            x = box.sample(rng, 1)[0]
-            if not self._admissible(x, excluded):
+        draws = 0
+        max_draws = self.MAX_DRAW_FACTOR * max(self.budget, 1)
+        while spent < self.budget and draws < max_draws:
+            want = min(self.budget - spent, max_draws - draws)
+            batch = box.sample(rng, want)
+            draws += len(batch)
+            admissible = np.ones(len(batch), dtype=bool)
+            for exclusion in excluded:
+                admissible &= ~exclusion.contains_many(batch)
+            candidates = batch[admissible]
+            if len(candidates) == 0:
                 continue
-            spent += 1
-            gap = self._evaluate(x)
-            if gap > best_gap:
-                best_x, best_gap = x, gap
+            samples = self.problem.evaluate_many(candidates)
+            gaps = samples.gaps
+            for x, gap in zip(candidates, gaps):
+                self.history.append((x.copy(), float(gap)))
+            spent += len(candidates)
+            index = int(np.argmax(gaps))
+            if gaps[index] > best_gap:
+                best_x, best_gap = candidates[index], float(gaps[index])
         return best_x, best_gap
 
     def _hill_climb(

@@ -45,6 +45,73 @@ class GapSample:
 
 
 @dataclass
+class GapSamples:
+    """Structure-of-arrays gap oracle output for a batch of inputs.
+
+    The batched counterpart of :class:`GapSample`: ``xs`` has shape
+    ``(n, dim)`` and the value arrays shape ``(n,)``. Native batched
+    oracles (:attr:`AnalyzedProblem.evaluate_batch`) return this directly;
+    the :class:`repro.oracle.engine.OracleEngine` assembles it from scalar
+    calls for problems without one.
+    """
+
+    xs: np.ndarray
+    benchmark_values: np.ndarray
+    heuristic_values: np.ndarray
+    heuristic_feasible: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.xs = np.atleast_2d(np.asarray(self.xs, dtype=float))
+        self.benchmark_values = np.asarray(self.benchmark_values, dtype=float)
+        self.heuristic_values = np.asarray(self.heuristic_values, dtype=float)
+        n = len(self.xs)
+        if self.heuristic_feasible is None:
+            self.heuristic_feasible = np.ones(n, dtype=bool)
+        else:
+            self.heuristic_feasible = np.asarray(
+                self.heuristic_feasible, dtype=bool
+            )
+        if not (
+            len(self.benchmark_values)
+            == len(self.heuristic_values)
+            == len(self.heuristic_feasible)
+            == n
+        ):
+            raise AnalyzerError("GapSamples arrays have mismatched lengths")
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    @property
+    def gaps(self) -> np.ndarray:
+        return self.benchmark_values - self.heuristic_values
+
+    def sample(self, i: int) -> GapSample:
+        """The i-th point as a scalar :class:`GapSample`."""
+        return GapSample(
+            x=self.xs[i],
+            benchmark_value=float(self.benchmark_values[i]),
+            heuristic_value=float(self.heuristic_values[i]),
+            heuristic_feasible=bool(self.heuristic_feasible[i]),
+        )
+
+    @staticmethod
+    def from_samples(samples: "list[GapSample]", dim: int) -> "GapSamples":
+        if not samples:
+            return GapSamples(
+                np.zeros((0, dim)), np.zeros(0), np.zeros(0), np.zeros(0, bool)
+            )
+        return GapSamples(
+            xs=np.array([s.x for s in samples]),
+            benchmark_values=np.array([s.benchmark_value for s in samples]),
+            heuristic_values=np.array([s.heuristic_value for s in samples]),
+            heuristic_feasible=np.array(
+                [s.heuristic_feasible for s in samples], dtype=bool
+            ),
+        )
+
+
+@dataclass
 class ExactEncoding:
     """A MetaOpt-style single-level rewrite of the bilevel gap problem.
 
@@ -87,6 +154,11 @@ class AnalyzedProblem:
     input_box: Box
     #: gap oracle: input vector -> GapSample
     evaluate: Callable[[np.ndarray], GapSample]
+    #: native *batched* gap oracle: (n, dim) matrix -> GapSamples. Optional;
+    #: problems without one fall back to a scalar loop over ``evaluate``.
+    #: All pipeline code should query through :meth:`evaluate_many` /
+    #: :meth:`gaps` so batching, caching, and stats apply uniformly.
+    evaluate_batch: Callable[[np.ndarray], GapSamples] | None = None
     #: problem structure in the DSL (Fig. 4); used by the explainer
     graph: FlowGraph | None = None
     #: exact MetaOpt-style encoding factory (fresh model per call), optional
@@ -118,18 +190,51 @@ class AnalyzedProblem:
                 f"problem {self.name!r}: {len(self.input_names)} input names "
                 f"vs {self.input_box.dim}-dimensional box"
             )
+        self._oracle = None
 
     @property
     def dim(self) -> int:
         return self.input_box.dim
 
+    # -- oracle dispatch ----------------------------------------------------
+    @property
+    def oracle(self):
+        """The problem's batched/caching oracle engine (built lazily).
+
+        Every gap query made through :meth:`gap` / :meth:`gaps` /
+        :meth:`evaluate_many` is served by this
+        :class:`repro.oracle.engine.OracleEngine`, which batches through
+        :attr:`evaluate_batch` when the domain provides one, memoizes
+        repeated points, and keeps hit/miss/solve counters.
+        """
+        if self._oracle is None:
+            from repro.oracle.engine import OracleEngine
+
+            self._oracle = OracleEngine(self)
+        return self._oracle
+
+    def configure_oracle(self, **kwargs):
+        """Replace the oracle engine (e.g. to disable or retune the cache).
+
+        Keyword arguments are passed to
+        :class:`repro.oracle.engine.OracleEngine`; returns the new engine.
+        """
+        from repro.oracle.engine import OracleEngine
+
+        self._oracle = OracleEngine(self, **kwargs)
+        return self._oracle
+
     def gap(self, x: np.ndarray) -> float:
         """Convenience: the gap oracle's scalar output."""
-        return self.evaluate(np.asarray(x, dtype=float)).gap
+        return self.oracle.evaluate(np.asarray(x, dtype=float)).gap
 
     def gaps(self, xs: np.ndarray) -> np.ndarray:
         """Vectorized gap evaluation (row-wise)."""
-        return np.array([self.gap(x) for x in np.asarray(xs, dtype=float)])
+        return self.evaluate_many(xs).gaps
+
+    def evaluate_many(self, xs: np.ndarray) -> GapSamples:
+        """Batched oracle evaluation through the engine (cache + batching)."""
+        return self.oracle.evaluate_many(np.asarray(xs, dtype=float))
 
     def named_input(self, values: Mapping[str, float]) -> np.ndarray:
         """Build an input vector from a name -> value mapping."""

@@ -70,6 +70,9 @@ class XPlainReport:
             f"(threshold {self.generator_report.threshold:.4g})",
             f"  runtime: {self.runtime_seconds:.1f}s",
         ]
+        stats = self.generator_report.oracle_stats
+        if stats is not None and getattr(stats, "points", 0):
+            lines.extend(f"  {line}" for line in stats.describe().splitlines())
         for i, item in enumerate(self.explained):
             lines.append(f"--- subspace D{i} " + "-" * 40)
             lines.append(item.describe(self.problem.input_names))

@@ -92,6 +92,39 @@ def first_fit_decreasing(instance: VbpInstance, tol: float = 1e-9) -> PackingRes
     )
 
 
+def first_fit_batch(
+    sizes: np.ndarray,
+    capacity: float,
+    num_bins: int,
+    tol: float = 1e-9,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized one-dimensional First Fit over a batch of instances.
+
+    ``sizes`` has shape (batch, num_balls); the return is
+    ``(bins_used, feasible)`` with shape (batch,). Placements follow the
+    exact arithmetic of :func:`first_fit` (same fit test, same load
+    accumulation order), so per-instance results are bit-identical to the
+    scalar loop — the batched gap oracle relies on that.
+    """
+    sizes = np.atleast_2d(np.asarray(sizes, dtype=float))
+    batch, num_balls = sizes.shape
+    loads = np.zeros((batch, num_bins))
+    used = np.zeros((batch, num_bins), dtype=bool)
+    feasible = np.ones(batch, dtype=bool)
+    rows = np.arange(batch)
+    for i in range(num_balls):
+        ball = sizes[:, i]
+        fits = loads + ball[:, None] <= capacity + tol
+        placed = fits.any(axis=1)
+        first = np.argmax(fits, axis=1)  # lowest-index fitting bin
+        target_rows = rows[placed]
+        target_bins = first[placed]
+        loads[target_rows, target_bins] += ball[placed]
+        used[target_rows, target_bins] = True
+        feasible &= placed
+    return used.sum(axis=1), feasible
+
+
 HEURISTICS = {
     "first_fit": first_fit,
     "best_fit": best_fit,

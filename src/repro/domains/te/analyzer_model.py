@@ -35,6 +35,7 @@ from repro.analyzer.interface import (
     ExactEncoding,
     GapSample,
 )
+from repro.domains.te.batch_oracle import TeBatchOracle
 from repro.domains.te.demands import DemandSet
 from repro.domains.te.dsl_model import build_te_graph, te_flows_for_result
 from repro.domains.te.optimal import solve_optimal_te
@@ -366,6 +367,7 @@ def demand_pinning_problem(
             np.zeros(len(keys)), np.full(len(keys), d_max)
         ),
         evaluate=evaluate,
+        evaluate_batch=TeBatchOracle(demand_set, threshold, d_max),
         graph=graph,
         exact_model=lambda: build_dp_encoding(demand_set, threshold, d_max),
         heuristic_flows=heuristic_flows,

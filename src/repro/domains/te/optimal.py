@@ -42,13 +42,17 @@ class TEResult:
         )
 
 
-def solve_optimal_te(
+def build_optimal_te_model(
     demand_set: DemandSet,
-    values: Mapping[str, float] | np.ndarray,
-    backend: str = "scipy",
-) -> TEResult:
-    """Maximize total routed flow for the given demand values."""
-    value_map = demand_set.values_from(values)
+    value_map: Mapping[str, float],
+) -> tuple[Model, dict[tuple[str, str], object]]:
+    """The max-flow LP for the given demand values.
+
+    Only the per-demand cap rows (``dem[<key>]``) depend on the demand
+    values, which is what makes the model a natural
+    :class:`~repro.solver.template.LpTemplate` — the batched oracle builds
+    it once and re-solves with mutated RHS per sample.
+    """
     model = Model("optimal_te", sense="max")
     flow_vars: dict[tuple[str, str], object] = {}
     for demand in demand_set.demands:
@@ -65,6 +69,17 @@ def solve_optimal_te(
         )
     _add_link_capacity_constraints(model, demand_set, flow_vars)
     model.set_objective(quicksum(flow_vars.values()))
+    return model, flow_vars
+
+
+def solve_optimal_te(
+    demand_set: DemandSet,
+    values: Mapping[str, float] | np.ndarray,
+    backend: str = "scipy",
+) -> TEResult:
+    """Maximize total routed flow for the given demand values."""
+    value_map = demand_set.values_from(values)
+    model, flow_vars = build_optimal_te_model(demand_set, value_map)
     solution = model.solve(backend=backend)
     if solution.status is not SolveStatus.OPTIMAL:
         raise AnalyzerError(

@@ -109,6 +109,46 @@ def solve_demand_pinning(
     return result
 
 
+def build_pinning_template_model(
+    demand_set: DemandSet,
+    d_max: float,
+) -> tuple[Model, dict[tuple[str, str], object]]:
+    """A parametric superset of the relaxed DP model for LP templating.
+
+    Which demands are pinned changes per input, but only in ways a solve
+    template can express as data:
+
+    * blocking rows ``blk[<key>|<path>] : f <= rhs`` exist for *every*
+      non-shortest path; the template sets ``rhs = 0`` when the demand is
+      pinned and ``rhs = d_max`` (slack) when it is not;
+    * the per-demand cap rows ``dem[<key>]`` take the sampled demand value;
+    * the lexicographic pinned-flow priority of :func:`solve_demand_pinning`
+      becomes an objective-coefficient update: the shortest-path flow of a
+      pinned demand gets weight ``1 + sum(d)``, everything else weight 1.
+
+    Returns the model and its flow variables; the caller owns the
+    :class:`~repro.solver.template.LpTemplate` mutation per sample.
+    """
+    model = Model("demand_pinning_template", sense="max")
+    flow_vars: dict[tuple[str, str], object] = {}
+    for demand in demand_set.demands:
+        for i, path in enumerate(demand.paths):
+            var = model.add_var(f"f[{demand.key}|{path.name}]", lb=0.0)
+            flow_vars[(demand.key, path.name)] = var
+            if i > 0:
+                model.add_constraint(
+                    var <= d_max, name=f"blk[{demand.key}|{path.name}]"
+                )
+        model.add_constraint(
+            quicksum(flow_vars[(demand.key, p.name)] for p in demand.paths)
+            <= d_max,
+            name=f"dem[{demand.key}]",
+        )
+    _add_link_capacity_constraints(model, demand_set, flow_vars)
+    model.set_objective(quicksum(flow_vars.values()))
+    return model, flow_vars
+
+
 def pinning_gap(
     demand_set: DemandSet,
     values: Mapping[str, float] | np.ndarray,

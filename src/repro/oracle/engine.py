@@ -1,0 +1,135 @@
+"""The batched gap-oracle engine.
+
+Every gap query in the pipeline — sampler sweeps, slice-expansion probes,
+significance pools, black-box search, generalizer observations — flows
+through one :class:`OracleEngine` per problem (see
+``AnalyzedProblem.oracle``). The engine:
+
+* answers repeated points from a quantized-key :class:`~repro.oracle.
+  cache.GapCache`;
+* forwards the remaining points to the problem's *native batched* oracle
+  (``AnalyzedProblem.evaluate_batch``, e.g. the TE LP-template oracle or
+  the vectorized binpack first-fit) when one exists;
+* otherwise falls back to a scalar loop over ``AnalyzedProblem.evaluate``,
+  so third-party problems keep working unchanged;
+* keeps :class:`~repro.oracle.stats.OracleStats` counters, merging in the
+  warm/cold solve counters a native oracle exposes via
+  ``solver_counters()``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analyzer.interface import AnalyzedProblem, GapSample, GapSamples
+from repro.oracle.cache import DEFAULT_RESOLUTION, GapCache
+from repro.oracle.stats import OracleStats
+
+
+class OracleEngine:
+    """Caching, batching front-end for one problem's gap oracle."""
+
+    def __init__(
+        self,
+        problem: AnalyzedProblem,
+        cache: bool | GapCache | None = True,
+        resolution: float = DEFAULT_RESOLUTION,
+    ) -> None:
+        self.problem = problem
+        if cache is True:
+            self.cache: GapCache | None = GapCache(
+                problem.input_box, resolution=resolution
+            )
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.stats = OracleStats()
+
+    # ------------------------------------------------------------------
+    def evaluate(self, x: np.ndarray) -> GapSample:
+        """Scalar evaluation through the same cached/batched path."""
+        x = np.asarray(x, dtype=float)
+        return self.evaluate_many(x[None, :]).sample(0)
+
+    def evaluate_many(self, xs: np.ndarray) -> GapSamples:
+        """Evaluate a batch of points, serving repeats from the cache."""
+        xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        n = len(xs)
+        if n == 0:
+            return GapSamples.from_samples([], dim=self.problem.dim)
+        start = time.perf_counter()
+        self.stats.points += n
+
+        benchmark = np.empty(n)
+        heuristic = np.empty(n)
+        feasible = np.ones(n, dtype=bool)
+
+        if self.cache is not None:
+            keys = [self.cache.key(x) for x in xs]
+            miss_indices: list[int] = []
+            pending: set[tuple] = set()
+            for i, key in enumerate(keys):
+                entry = None if key in pending else self.cache.get(key)
+                if entry is None:
+                    miss_indices.append(i)
+                    pending.add(key)
+                else:
+                    benchmark[i], heuristic[i], feasible[i] = entry
+        else:
+            keys = None
+            miss_indices = list(range(n))
+        self.stats.cache_hits += n - len(miss_indices)
+        self.stats.cache_misses += len(miss_indices)
+
+        if miss_indices:
+            fresh = self._dispatch(xs[miss_indices])
+            for j, i in enumerate(miss_indices):
+                benchmark[i] = fresh.benchmark_values[j]
+                heuristic[i] = fresh.heuristic_values[j]
+                feasible[i] = fresh.heuristic_feasible[j]
+                if keys is not None:
+                    self.cache.put(
+                        keys[i],
+                        float(benchmark[i]),
+                        float(heuristic[i]),
+                        bool(feasible[i]),
+                    )
+
+        self.stats.eval_seconds += time.perf_counter() - start
+        return GapSamples(xs, benchmark, heuristic, feasible)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, xs: np.ndarray) -> GapSamples:
+        """Route uncached points to the native batch oracle or scalar loop."""
+        native = self.problem.evaluate_batch
+        if native is not None:
+            self.stats.native_batched += len(xs)
+            result = native(xs)
+            if len(result) != len(xs):
+                raise RuntimeError(
+                    f"native batched oracle of {self.problem.name!r} "
+                    f"returned {len(result)} samples for {len(xs)} points"
+                )
+            return result
+        self.stats.scalar_fallback += len(xs)
+        return GapSamples.from_samples(
+            [self.problem.evaluate(x) for x in xs], dim=self.problem.dim
+        )
+
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> OracleStats:
+        """Current counters, merged with native solver counters if any.
+
+        Returns a copy; snapshot deltas (``after - before``) give the cost
+        of one pipeline stage.
+        """
+        snap = self.stats.copy()
+        counters = getattr(self.problem.evaluate_batch, "solver_counters", None)
+        if callable(counters):
+            for name, value in counters().items():
+                if hasattr(snap, name):
+                    setattr(snap, name, getattr(snap, name) + value)
+        return snap

@@ -1,0 +1,76 @@
+"""Counters for the batched gap-oracle engine.
+
+An :class:`OracleStats` block is kept by every
+:class:`~repro.oracle.engine.OracleEngine` and surfaced on
+:class:`~repro.subspace.generator.GeneratorReport` (and from there in the
+CLI summary), so a pipeline run reports how many oracle queries it made,
+how many the memoizing cache absorbed, and how the LP templates split
+between warm and cold simplex starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class OracleStats:
+    """Work counters for one engine (or a delta between two snapshots)."""
+
+    #: total gap evaluations requested through the engine
+    points: int = 0
+    #: points answered straight from the memoizing cache
+    cache_hits: int = 0
+    #: points that had to be evaluated
+    cache_misses: int = 0
+    #: evaluated points served by a native batched oracle
+    native_batched: int = 0
+    #: evaluated points served by the scalar python-loop fallback
+    scalar_fallback: int = 0
+    #: LP template re-solves that warm-started from the previous basis
+    warm_solves: int = 0
+    #: LP template solves that fell back to the cold two-phase simplex
+    cold_solves: int = 0
+    #: simplex pivots across all template solves
+    lp_iterations: int = 0
+    #: wall-clock seconds inside template LP solves
+    lp_seconds: float = 0.0
+    #: wall-clock seconds inside the engine (cache + dispatch + evaluation)
+    eval_seconds: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return 0.0 if self.points == 0 else self.cache_hits / self.points
+
+    @property
+    def warm_rate(self) -> float:
+        total = self.warm_solves + self.cold_solves
+        return 0.0 if total == 0 else self.warm_solves / total
+
+    def copy(self) -> "OracleStats":
+        return OracleStats(
+            **{f.name: getattr(self, f.name) for f in fields(self)}
+        )
+
+    def __sub__(self, other: "OracleStats") -> "OracleStats":
+        """Delta between two snapshots (``after - before``)."""
+        return OracleStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def describe(self) -> str:
+        lines = [
+            f"oracle: {self.points} points "
+            f"({self.cache_hits} cached, {self.native_batched} batched, "
+            f"{self.scalar_fallback} scalar) in {self.eval_seconds:.2f}s",
+        ]
+        if self.warm_solves or self.cold_solves:
+            lines.append(
+                f"  lp templates: {self.warm_solves} warm / "
+                f"{self.cold_solves} cold solves, "
+                f"{self.lp_iterations} pivots, {self.lp_seconds:.2f}s"
+            )
+        return "\n".join(lines)

@@ -10,7 +10,9 @@ that proprietary layer with a complete, self-contained stack:
 * :mod:`repro.solver.presolve` — redundancy elimination with recovery maps
   (the engine behind the paper's compiled-DSL speedup claim);
 * :mod:`repro.solver.scipy_backend` — HiGHS via SciPy, used as the
-  cross-check oracle and the large-model fast path.
+  cross-check oracle and the large-model fast path;
+* :mod:`repro.solver.template` — parametric LP templates with basis
+  warm-starting (the batched gap-oracle engine's solve substrate).
 """
 
 from repro.solver.expr import (
@@ -24,11 +26,13 @@ from repro.solver.expr import (
 from repro.solver.model import INF, Model
 from repro.solver.presolve import PresolveResult, presolve, solve_with_presolve
 from repro.solver.solution import Solution, SolveStats, SolveStatus
+from repro.solver.template import LpTemplate
 
 __all__ = [
     "Constraint",
     "INF",
     "LinExpr",
+    "LpTemplate",
     "Model",
     "PresolveResult",
     "Relation",

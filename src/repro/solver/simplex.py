@@ -41,6 +41,10 @@ class _TableauResult:
     y: np.ndarray | None
     objective: float
     iterations: int
+    #: optimal basis (column index per row) when the solve ended OPTIMAL
+    #: with no artificial column left basic; reusable via
+    #: :func:`solve_with_basis` for warm-started re-solves.
+    basis: list[int] | None = None
 
 
 def _pivot(tableau: np.ndarray, row: int, col: int) -> None:
@@ -135,6 +139,14 @@ def _extract_solution(tableau: np.ndarray, basis: list[int], n: int) -> np.ndarr
 def solve_standard_form(sf: StandardForm, max_iter: int | None = None) -> _TableauResult:
     """Solve a standard-form LP, returning y-space results."""
     a, b, c = sf.a, sf.b, sf.c
+    # Phase 1 needs b >= 0; forms built with ``normalize=False`` (solve
+    # templates) may carry negative entries, so flip those rows on copies.
+    neg = b < 0
+    if np.any(neg):
+        a = a.copy()
+        b = b.copy()
+        a[neg] *= -1.0
+        b[neg] *= -1.0
     m, n = a.shape
     if max_iter is None:
         max_iter = MAX_ITER_FACTOR * max(m + n, 32)
@@ -145,6 +157,39 @@ def solve_standard_form(sf: StandardForm, max_iter: int | None = None) -> _Table
         if np.any(c < -TOL):
             return _TableauResult(SolveStatus.UNBOUNDED, None, float("-inf"), 0)
         return _TableauResult(SolveStatus.OPTIMAL, np.zeros(n), 0.0, 0)
+
+    # ---- slack-basis shortcut -------------------------------------------
+    # When every row is an inequality whose slack column survived with
+    # coefficient +1 (no equality rows, no sign flips), the all-slack basis
+    # is feasible and phase 1 is pure overhead: start phase 2 directly.
+    ns = sf.num_structural
+    if m == sf.num_slack and n == ns + m:
+        slack_diag = a[np.arange(m), ns + np.arange(m)]
+        if np.all(slack_diag == 1.0):
+            tableau = np.empty((m + 1, n + 1))
+            tableau[:m, :n] = a
+            tableau[:m, -1] = b
+            tableau[-1, :n] = c
+            tableau[-1, -1] = 0.0
+            basis = list(range(ns, ns + m))
+            if np.any(c[ns:] != 0.0):  # reduce costs w.r.t. the slack basis
+                c_basis = c[ns:]
+                tableau[-1, :n] -= c_basis @ a
+                tableau[-1, -1] = -float(c_basis @ b)
+            allowed = np.ones(n, dtype=bool)
+            phase2 = _run_simplex(tableau, basis, allowed, max_iter)
+            if phase2.status is not SolveStatus.OPTIMAL:
+                return _TableauResult(
+                    phase2.status, None, phase2.objective, phase2.iterations
+                )
+            y = _extract_solution(tableau, basis, n)
+            return _TableauResult(
+                SolveStatus.OPTIMAL,
+                y,
+                float(c @ y),
+                phase2.iterations,
+                basis=list(basis),
+            )
 
     # ---- phase 1: artificial basis -------------------------------------
     tableau = np.zeros((m + 1, n + m + 1))
@@ -197,7 +242,115 @@ def solve_standard_form(sf: StandardForm, max_iter: int | None = None) -> _Table
 
     y = _extract_solution(tableau, basis, n)
     objective = float(c @ y)
-    return _TableauResult(SolveStatus.OPTIMAL, y, objective, iterations)
+    final_basis = list(basis) if all(col < n for col in basis) else None
+    return _TableauResult(
+        SolveStatus.OPTIMAL, y, objective, iterations, basis=final_basis
+    )
+
+
+def _dual_simplex(
+    tableau: np.ndarray, basis: list[int], max_iter: int
+) -> tuple[int, bool]:
+    """Repair negative rhs entries while keeping dual feasibility.
+
+    The classic warm-start move for rhs changes: the previous optimal basis
+    keeps its non-negative reduced costs, so dual pivots (leave the most
+    negative row, enter by the dual ratio test) restore primal feasibility
+    in a handful of iterations. Returns ``(iterations, feasible)``;
+    ``feasible=False`` means the LP is primal infeasible (an all-non-negative
+    row demands a negative rhs) or the iteration cap was hit.
+    """
+    m = tableau.shape[0] - 1
+    iterations = 0
+    while iterations < max_iter:
+        rhs = tableau[:m, -1]
+        row_index = int(np.argmin(rhs))
+        if rhs[row_index] >= -TOL:
+            return iterations, True
+        row = tableau[row_index, :-1]
+        eligible = np.where(row < -TOL)[0]
+        if eligible.size == 0:
+            return iterations, False
+        costs = tableau[-1, :-1]
+        ratios = costs[eligible] / -row[eligible]
+        entering = int(eligible[np.argmin(ratios)])
+        _pivot(tableau, row_index, entering)
+        basis[row_index] = entering
+        iterations += 1
+    return iterations, False
+
+
+def solve_with_basis(
+    sf: StandardForm,
+    basis: list[int],
+    max_iter: int | None = None,
+) -> _TableauResult | None:
+    """Warm-started solve from a known (previously optimal) basis.
+
+    Rebuilds the tableau in the given basis (one dense factorization plus a
+    matmul — no phase-1 pivots). If the basis is still primal feasible
+    under the current ``b``, the primal simplex finishes from there; if it
+    went primal infeasible but stayed dual feasible (the rhs-only-change
+    case), a dual-simplex repair runs first. Returns ``None`` when the
+    basis cannot seed the solve at all — singular basis matrix, dual and
+    primal infeasible (objective changed too much), or an artificial column
+    index — in which case the caller should fall back to the cold two-phase
+    path (:func:`solve_standard_form`).
+    """
+    a, b, c = sf.a, sf.b, sf.c
+    m, n = a.shape
+    if m == 0 or len(basis) != m or any(col < 0 or col >= n for col in basis):
+        return None
+    if max_iter is None:
+        max_iter = MAX_ITER_FACTOR * max(m + n, 32)
+
+    basis_matrix = a[:, basis]
+    try:
+        rows = np.linalg.solve(basis_matrix, a)
+        rhs = np.linalg.solve(basis_matrix, b)
+    except np.linalg.LinAlgError:
+        return None
+    if not (np.all(np.isfinite(rhs)) and np.all(np.isfinite(rows))):
+        return None
+
+    tableau = np.empty((m + 1, n + 1))
+    tableau[:m, :n] = rows
+    tableau[:m, -1] = rhs
+    c_basis = c[basis]
+    tableau[-1, :n] = c - c_basis @ rows
+    tableau[-1, -1] = -float(c_basis @ rhs)
+    # Basic columns have reduced cost 0 by construction; clamp the tiny
+    # residuals the factorization leaves so they are never chosen to enter.
+    tableau[-1, basis] = 0.0
+
+    work_basis = list(basis)
+    iterations = 0
+    if float(rhs.min()) < -1e-7:
+        if float(tableau[-1, :n].min()) < -1e-7:
+            return None  # neither primal nor dual feasible: cold-start
+        iterations, feasible = _dual_simplex(tableau, work_basis, max_iter)
+        if not feasible:
+            if iterations >= max_iter:
+                return None  # give the cold path a chance before reporting
+            return _TableauResult(
+                SolveStatus.INFEASIBLE, None, 0.0, iterations
+            )
+    np.maximum(tableau[:m, -1], 0.0, out=tableau[:m, -1])
+
+    allowed = np.ones(n, dtype=bool)
+    result = _run_simplex(tableau, work_basis, allowed, max_iter - iterations)
+    iterations += result.iterations
+    if result.status is SolveStatus.UNBOUNDED:
+        return _TableauResult(
+            SolveStatus.UNBOUNDED, None, float("-inf"), iterations
+        )
+    if result.status is not SolveStatus.OPTIMAL:
+        return None  # iteration trouble: let the caller cold-start
+    y = _extract_solution(tableau, work_basis, n)
+    objective = float(c @ y)
+    return _TableauResult(
+        SolveStatus.OPTIMAL, y, objective, iterations, basis=work_basis
+    )
 
 
 def solve_lp(model: Model) -> Solution:

@@ -43,7 +43,13 @@ class _VarMap:
 
 @dataclass
 class StandardForm:
-    """Matrices of the standard-form LP plus the recovery mapping."""
+    """Matrices of the standard-form LP plus the recovery mapping.
+
+    The trailing metadata fields describe how rows of ``a`` relate back to
+    the :class:`MatrixForm` they came from; :class:`repro.solver.template.
+    LpTemplate` uses them to re-target ``b`` and ``c`` without redoing the
+    conversion.
+    """
 
     a: np.ndarray
     b: np.ndarray
@@ -51,6 +57,11 @@ class StandardForm:
     c0: float
     var_maps: list[_VarMap]
     num_structural: int  # y-columns that correspond to original variables
+    #: per-row rhs shift introduced by lower-bound substitution; row r of the
+    #: matrix-form data maps to ``b[r] = rhs_r - row_shifts[r]``
+    row_shifts: np.ndarray | None = None
+    #: total inequality rows (model rows + bound rows), i.e. the slack count
+    num_slack: int = 0
 
     def recover(self, y: np.ndarray) -> np.ndarray:
         """Map a standard-form solution back to original variable values."""
@@ -68,11 +79,13 @@ def to_standard_form(model: Model) -> StandardForm:
     return from_matrix_form(model.to_matrix_form())
 
 
-def from_matrix_form(mf: MatrixForm) -> StandardForm:
+def from_matrix_form(mf: MatrixForm, normalize: bool = True) -> StandardForm:
     """Standard-form conversion working directly on matrix data.
 
     Branch-and-bound uses this entry point so it can tighten bounds without
-    rebuilding ``Model`` objects.
+    rebuilding ``Model`` objects. ``normalize=False`` skips the ``b >= 0``
+    row flipping (templates want stable row signs so they can overwrite the
+    rhs later; the solver re-normalizes a copy when it cold-starts).
     """
     n = len(mf.variables)
     var_maps: list[_VarMap] = []
@@ -105,10 +118,12 @@ def from_matrix_form(mf: MatrixForm) -> StandardForm:
 
     ub_rows: list[np.ndarray] = []
     ub_rhs: list[float] = []
+    ub_shifts: list[float] = []
     for r in range(mf.a_ub.shape[0]):
         row, shift = expand_row(mf.a_ub[r])
         ub_rows.append(row)
         ub_rhs.append(mf.b_ub[r] - shift)
+        ub_shifts.append(shift)
     # Finite upper bounds become inequality rows over y.
     for i in range(n):
         ub = mf.ub[i]
@@ -122,6 +137,7 @@ def from_matrix_form(mf: MatrixForm) -> StandardForm:
             row[vm.negative] = -1.0  # type: ignore[index]
             ub_rows.append(row)
             ub_rhs.append(ub)
+            ub_shifts.append(0.0)
         else:
             if ub < lb:
                 raise ModelError(
@@ -132,13 +148,16 @@ def from_matrix_form(mf: MatrixForm) -> StandardForm:
             row[vm.positive] = 1.0
             ub_rows.append(row)
             ub_rhs.append(ub - lb)
+            ub_shifts.append(lb)
 
     eq_rows: list[np.ndarray] = []
     eq_rhs: list[float] = []
+    eq_shifts: list[float] = []
     for r in range(mf.a_eq.shape[0]):
         row, shift = expand_row(mf.a_eq[r])
         eq_rows.append(row)
         eq_rhs.append(mf.b_eq[r] - shift)
+        eq_shifts.append(shift)
 
     num_slack = len(ub_rows)
     total = num_structural + num_slack
@@ -165,10 +184,11 @@ def from_matrix_form(mf: MatrixForm) -> StandardForm:
             c[vm.negative] -= coeff
         c0 += coeff * vm.shift
 
-    # Normalize to b >= 0 so phase 1 can start from the artificial basis.
-    neg = b < 0
-    a[neg] *= -1.0
-    b[neg] *= -1.0
+    if normalize:
+        # Normalize to b >= 0 so phase 1 can start from the artificial basis.
+        neg = b < 0
+        a[neg] *= -1.0
+        b[neg] *= -1.0
 
     return StandardForm(
         a=a,
@@ -177,4 +197,6 @@ def from_matrix_form(mf: MatrixForm) -> StandardForm:
         c0=c0,
         var_maps=var_maps,
         num_structural=num_structural,
+        row_shifts=np.array(ub_shifts + eq_shifts),
+        num_slack=num_slack,
     )

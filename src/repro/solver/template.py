@@ -1,0 +1,190 @@
+"""Parametric LP solve templates with warm-started re-solves.
+
+The XPlain pipeline queries the gap oracle thousands of times per subspace,
+and for LP-backed domains each query used to rebuild the whole ``Model``
+expression graph, re-lower it to standard form, and cold-start the simplex.
+Across those queries the LP *structure* never changes — only some
+constraint right-hand sides (e.g. TE demand caps) and objective
+coefficients (e.g. the pinned-flow priority weight) do.
+
+:class:`LpTemplate` does the expensive work once:
+
+* lower the model to matrix form and then to standard form (keeping the
+  row metadata :func:`~repro.solver.standard_form.from_matrix_form` records),
+* precompute the variable -> y-column maps for vectorized objective
+  retargeting,
+
+and then serves each sample with in-place ``b``/``c`` mutation plus a
+basis warm start (:func:`~repro.solver.simplex.solve_with_basis`): phase 2
+restarts from the previous optimal basis and falls back to the cold
+two-phase simplex when the basis no longer applies. See DESIGN.md
+("Batched gap-oracle engine") for measured numbers.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.solver.expr import Relation, Variable
+from repro.solver.model import Model
+from repro.solver.simplex import (
+    solve_standard_form,
+    solve_with_basis,
+)
+from repro.solver.solution import Solution, SolveStats, SolveStatus
+from repro.solver.standard_form import from_matrix_form
+
+
+class LpTemplate:
+    """One LP structure, many solves with varying rhs / objective data.
+
+    The template treats the model captured at construction time as frozen
+    structure; integrality is ignored (callers needing MILPs should keep
+    using :meth:`Model.solve`). Mutations:
+
+    * :meth:`set_rhs` — overwrite one constraint's right-hand side;
+    * :meth:`set_objective_coeff` — overwrite one variable's objective
+      coefficient (in the model's own sense).
+
+    Every :meth:`solve` first tries the previous optimal basis and falls
+    back to the cold two-phase simplex when warm starting fails.
+    """
+
+    def __init__(self, model: Model) -> None:
+        if model.is_mip:
+            raise ModelError(
+                f"model {model.name!r} has integer variables; LP templates "
+                "only re-solve continuous structure"
+            )
+        self.model = model
+        self._variables = list(model.variables)
+        mf = model.to_matrix_form()
+        self._mf = mf
+        self._sign = mf.objective_sign
+        sf = from_matrix_form(mf, normalize=False)
+        self.sf = sf
+
+        # ---- constraint -> standard-form row map --------------------------
+        #: constraint name -> (row index in sf.b, rhs sign)
+        self._row_of: dict[str, tuple[int, float]] = {}
+        ub_i = 0
+        eq_i = 0
+        for con in model.constraints:
+            if con.relation is Relation.LE:
+                self._row_of[con.name] = (ub_i, 1.0)
+                ub_i += 1
+            elif con.relation is Relation.GE:
+                self._row_of[con.name] = (ub_i, -1.0)
+                ub_i += 1
+            else:
+                self._row_of[con.name] = (sf.num_slack + eq_i, 1.0)
+                eq_i += 1
+        assert sf.row_shifts is not None
+
+        # ---- vectorized objective map -------------------------------------
+        n = len(self._variables)
+        self._pos_cols = np.array([vm.positive for vm in sf.var_maps])
+        neg = [
+            (i, vm.negative)
+            for i, vm in enumerate(sf.var_maps)
+            if vm.negative is not None
+        ]
+        self._neg_rows = np.array([i for i, _ in neg], dtype=int)
+        self._neg_cols = np.array([c for _, c in neg], dtype=int)
+        self._var_shifts = np.array([vm.shift for vm in sf.var_maps])
+        #: objective coefficients in *minimization* space, model variables
+        self._c_model = mf.c.copy()
+        self._c0_const = self._sign * model.objective.constant
+        self._c_dirty = False
+        self._b = sf.b.copy()
+
+        # ---- warm-start state & counters ----------------------------------
+        self._basis: list[int] | None = None
+        self.warm_solves = 0
+        self.cold_solves = 0
+        self.iterations = 0
+        self.solve_seconds = 0.0
+
+    # -- mutation -----------------------------------------------------------
+    def set_rhs(self, constraint, value: float) -> None:
+        """Overwrite one constraint's right-hand side for the next solve."""
+        name = constraint if isinstance(constraint, str) else constraint.name
+        try:
+            row, sign = self._row_of[name]
+        except KeyError:
+            raise ModelError(f"template has no constraint {name!r}") from None
+        self._b[row] = sign * value - self.sf.row_shifts[row]
+
+    def set_objective_coeff(self, var: Variable, coeff: float) -> None:
+        """Overwrite one variable's objective coefficient (model sense)."""
+        self._c_model[var.index] = self._sign * coeff
+        self._c_dirty = True
+
+    # -- solving --------------------------------------------------------------
+    def _refresh_objective(self) -> None:
+        """Re-expand the model-space objective onto the y-columns."""
+        sf = self.sf
+        c = np.zeros(sf.a.shape[1])
+        c[self._pos_cols] = self._c_model
+        if self._neg_rows.size:
+            c[self._neg_cols] = -self._c_model[self._neg_rows]
+        sf.c = c
+        sf.c0 = float(self._c0_const + self._c_model @ self._var_shifts)
+        self._c_dirty = False
+
+    def solve(self, warm: bool = True) -> Solution:
+        """Solve with the current rhs/objective data."""
+        start = time.perf_counter()
+        sf = self.sf
+        sf.b = self._b
+        if self._c_dirty:
+            self._refresh_objective()
+
+        result = None
+        if warm and self._basis is not None:
+            result = solve_with_basis(sf, self._basis)
+        if result is not None:
+            # Any non-None warm outcome (optimal, unbounded, infeasible)
+            # is definitive; only a None handoff needs the cold path.
+            self.warm_solves += 1
+        else:
+            result = solve_standard_form(sf)
+            self.cold_solves += 1
+        self.iterations += result.iterations
+        self._basis = result.basis if result.status is SolveStatus.OPTIMAL else None
+        self.solve_seconds += time.perf_counter() - start
+
+        stats = SolveStats(iterations=result.iterations, backend="simplex")
+        if result.status is not SolveStatus.OPTIMAL:
+            return Solution(status=result.status, stats=stats)
+        x = sf.recover(result.y)
+        values = {var: float(x[i]) for i, var in enumerate(self._variables)}
+        objective = self._sign * (result.objective + sf.c0)
+        solution = Solution(
+            status=SolveStatus.OPTIMAL,
+            objective=objective,
+            values=values,
+            stats=stats,
+        )
+        stats.runtime_seconds = time.perf_counter() - start
+        return solution
+
+    # -- introspection --------------------------------------------------------
+    def solver_counters(self) -> dict[str, float]:
+        """Warm/cold counters for :class:`repro.oracle.stats.OracleStats`."""
+        return {
+            "warm_solves": self.warm_solves,
+            "cold_solves": self.cold_solves,
+            "lp_iterations": self.iterations,
+            "lp_seconds": self.solve_seconds,
+        }
+
+    def __repr__(self) -> str:
+        m, n = self.sf.a.shape
+        return (
+            f"LpTemplate({self.model.name!r}, rows={m}, cols={n}, "
+            f"warm={self.warm_solves}, cold={self.cold_solves})"
+        )

@@ -103,6 +103,9 @@ class GeneratorReport:
     rejected: list[Subspace] = field(default_factory=list)
     threshold: float = 0.0
     analyzer_calls: int = 0
+    #: gap-oracle work this run cost (cache hits, batch sizes, warm/cold LP
+    #: solves); ``None`` only for reports built by hand
+    oracle_stats: "object | None" = None
 
     @property
     def regions(self) -> list[Region]:
@@ -131,6 +134,7 @@ class AdversarialSubspaceGenerator:
         config = self.config
         rng = np.random.default_rng(config.seed)
         report = GeneratorReport()
+        oracle_before = self.problem.oracle.stats_snapshot()
         excluded: list[Box] = []
         #: how many times an insignificant area has been re-examined,
         #: keyed by a coarse box signature (the §5.2 revisit budget)
@@ -170,6 +174,9 @@ class AdversarialSubspaceGenerator:
                     # the infinite cycle the paper warns about.
                     excluded.append(subspace.region.box)
         report.threshold = threshold
+        report.oracle_stats = (
+            self.problem.oracle.stats_snapshot() - oracle_before
+        )
         return report
 
     def _signature(self, box: Box) -> tuple:
@@ -348,7 +355,7 @@ class AdversarialSubspaceGenerator:
         problem = self.problem
         pairs = config.significance_pairs
         inside_points = region.sample(rng, pairs)
-        inside_gaps = problem.gaps(inside_points)
+        inside_gaps = problem.evaluate_many(inside_points).gaps
 
         shell_widths = problem.input_box.widths * config.shell_fraction
         outer = Box.from_arrays(

@@ -83,14 +83,14 @@ def sample_in_box(
     threshold: float,
     rng: np.random.Generator,
 ) -> SampleSet:
-    """Uniformly sample a box and evaluate the gap oracle."""
+    """Uniformly sample a box and evaluate the gap oracle (batched)."""
     if count <= 0:
         return SampleSet(
             np.zeros((0, box.dim)), np.zeros(0), threshold
         )
     points = box.sample(rng, count)
-    gaps = problem.gaps(points)
-    return SampleSet(points, gaps, threshold)
+    samples = problem.evaluate_many(points)
+    return SampleSet(points, samples.gaps, threshold)
 
 
 def sample_in_shell(
@@ -119,5 +119,5 @@ def sample_in_shell(
             "could not sample outside the region; it may cover the domain"
         )
     points = np.array(collected[:count])
-    gaps = problem.gaps(points)
-    return SampleSet(points, gaps, threshold)
+    samples = problem.evaluate_many(points)
+    return SampleSet(points, samples.gaps, threshold)
