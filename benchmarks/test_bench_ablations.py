@@ -13,7 +13,6 @@ DESIGN.md commits to ablation benches for the pipeline's key choices:
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import comparison_row, report
 from repro.analyzer import MetaOptAnalyzer

@@ -8,8 +8,6 @@ worst-case *relative* gap (gap / OPT) per threshold: the curve shows where
 DP gives up >= 30% of the optimal flow. On Fig. 1a the peak is 40%.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import comparison_row, report
 from repro.analyzer import MetaOptAnalyzer

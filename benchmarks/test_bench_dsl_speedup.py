@@ -20,7 +20,6 @@ Measured shape (two solver regimes):
 import time
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import comparison_row, report
 from repro.domains.binpack import build_ff_encoding
@@ -95,12 +94,15 @@ def _median_tableau_seconds(model_factory, presolve_first, repeats=5):
 
 
 def test_dp_compile_speedup(benchmark, fig1a_demand_set):
-    naive_factory = lambda: build_dp_encoding(
-        fig1a_demand_set, threshold=50.0, d_max=100.0, naive=True
-    ).model
-    lean_factory = lambda: build_dp_encoding(
-        fig1a_demand_set, threshold=50.0, d_max=100.0
-    ).model
+    def naive_factory():
+        return build_dp_encoding(
+            fig1a_demand_set, threshold=50.0, d_max=100.0, naive=True
+        ).model
+
+    def lean_factory():
+        return build_dp_encoding(
+            fig1a_demand_set, threshold=50.0, d_max=100.0
+        ).model
 
     naive_model = naive_factory()
     lean_reduced = presolve(lean_factory()).reduced
@@ -138,8 +140,11 @@ def test_dp_compile_speedup(benchmark, fig1a_demand_set):
 
 
 def test_ff_no_rewrite_gain(benchmark):
-    naive_factory = lambda: build_ff_encoding(4, 3, naive=True).model
-    lean_factory = lambda: build_ff_encoding(4, 3).model
+    def naive_factory():
+        return build_ff_encoding(4, 3, naive=True).model
+
+    def lean_factory():
+        return build_ff_encoding(4, 3).model
 
     t_naive = _median_solve_seconds(naive_factory)
     t_compiled = benchmark.pedantic(

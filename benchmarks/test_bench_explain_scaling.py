@@ -9,7 +9,6 @@ quadratically (balls x bins).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import comparison_row, report
 from repro.domains.binpack import first_fit_problem

@@ -4,7 +4,6 @@ Paper: "Example adversarial instance for FF with equal-sized bins with size
 of 1; the optimal uses 8 bins and the heuristic 9."
 """
 
-import pytest
 
 from benchmarks.conftest import comparison_row, report
 from repro.domains.binpack import (

@@ -12,7 +12,6 @@ path, benchmark-only blue on its alternative.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import comparison_row, report
 from repro.analyzer import MetaOptAnalyzer

@@ -9,7 +9,6 @@ are blue — the first-bin greediness cascades to the last ball.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import comparison_row, report
 from repro.analyzer import MetaOptAnalyzer

@@ -7,8 +7,6 @@ the checker draws (the paper ran thousands); the reproducible shape is
 stronger than VBP's.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import comparison_row, report
 from repro.analyzer import MetaOptAnalyzer

@@ -9,7 +9,6 @@ recovers a strictly smaller worst-case gap than the exact analyzer on DP
 exact analyzer needs no sampling at all.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import comparison_row, report

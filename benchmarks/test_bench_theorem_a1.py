@@ -8,7 +8,6 @@ rewritten into the six node behaviors, compiled back to an optimization,
 solved, and the recovered optimum must equal the directly solved one.
 """
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import comparison_row, report

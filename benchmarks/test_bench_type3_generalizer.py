@@ -13,7 +13,6 @@ must contain increasing(pinned_shortest_path_len).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import comparison_row, report
 from repro.analyzer import MetaOptAnalyzer

@@ -5,7 +5,6 @@ for an example with 4 balls and 3 equal-sized bins — the optimal uses 2
 bins while FF uses 3."
 """
 
-import pytest
 
 from benchmarks.conftest import comparison_row, report
 from repro.domains.binpack import (

@@ -11,7 +11,6 @@ Walks through every stage the paper narrates:
 5. the generalizer — which demand-vector properties drive the gap.
 """
 
-import numpy as np
 
 from repro import XPlain, XPlainConfig
 from repro.analyzer import MetaOptAnalyzer

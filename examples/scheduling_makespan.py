@@ -9,7 +9,6 @@ drives the same subspace -> explain pipeline. This is the on-ramp an
 operator uses before investing in an exact bilevel rewrite.
 """
 
-import numpy as np
 
 from repro import XPlain, XPlainConfig
 from repro.domains.sched import (

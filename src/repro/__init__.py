@@ -33,9 +33,20 @@ _LAZY_EXPORTS = {
     "XPlain": "repro.core.pipeline",
     "XPlainConfig": "repro.core.config",
     "XPlainReport": "repro.core.results",
+    "CampaignSpec": "repro.parallel.campaign",
+    "load_campaign_spec": "repro.parallel.campaign",
+    "run_campaign": "repro.parallel.campaign",
 }
 
-__all__ = ["XPlain", "XPlainConfig", "XPlainReport", "__version__"]
+__all__ = [
+    "CampaignSpec",
+    "XPlain",
+    "XPlainConfig",
+    "XPlainReport",
+    "__version__",
+    "load_campaign_spec",
+    "run_campaign",
+]
 
 
 def __getattr__(name: str):

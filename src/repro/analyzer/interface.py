@@ -183,6 +183,11 @@ class AnalyzedProblem:
     #: of indicator thresholds; e.g. a demand at T + 1e-6 that the encoding
     #: treats as pinned must be snapped to T so the oracle agrees).
     canonicalize: Callable[[np.ndarray], np.ndarray] | None = None
+    #: picklable rebuild recipe (:class:`repro.parallel.spec.ProblemSpec`);
+    #: required by the process executor, which reconstructs the problem —
+    #: closures and all — inside each worker. Domain constructors whose
+    #: arguments are JSON-safe attach one automatically.
+    spec: "object | None" = None
 
     def __post_init__(self) -> None:
         if len(self.input_names) != self.input_box.dim:

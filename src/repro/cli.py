@@ -8,7 +8,16 @@ without writing Python:
 * ``sched``    — XPlain on list scheduling via the black-box analyzer;
 * ``fig1a``    — just the Fig. 1a worked-example table;
 * ``encode``   — Theorem A.1 demo on a built-in knapsack;
-* ``type3``    — cross-instance generalization on line topologies.
+* ``type3``    — cross-instance generalization on line topologies;
+* ``campaign`` — fan a JSON/TOML spec of problems across a worker pool
+  and write per-problem JSON reports.
+
+Every subcommand accepts ``--workers N``; on the pipeline subcommands
+(``dp``, ``vbp``, ``sched``) and ``campaign``, ``N > 1`` shards work
+across ``N`` worker processes with output bit-identical to
+``--workers 1`` for a fixed seed (DESIGN.md §9). The table/demo
+subcommands (``fig1a``, ``encode``, ``type3``) run no shardable
+pipeline work and say so when asked for workers.
 """
 
 from __future__ import annotations
@@ -19,6 +28,15 @@ import sys
 import numpy as np
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for sharded execution (1 = serial)",
+    )
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="pipeline seed")
     parser.add_argument(
@@ -27,6 +45,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--samples", type=int, default=200, help="explainer samples per subspace"
     )
+    _add_workers(parser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,14 +75,32 @@ def build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--machines", type=int, default=2)
     _add_common(sched)
 
-    sub.add_parser("fig1a", help="print the Fig. 1a worked-example table")
-    sub.add_parser("encode", help="Theorem A.1 demo (knapsack as flow graph)")
+    fig1a = sub.add_parser("fig1a", help="print the Fig. 1a worked-example table")
+    _add_workers(fig1a)
+
+    encode = sub.add_parser(
+        "encode", help="Theorem A.1 demo (knapsack as flow graph)"
+    )
+    _add_workers(encode)
 
     type3 = sub.add_parser(
         "type3", help="cross-instance generalization on line topologies"
     )
     type3.add_argument("--instances", type=int, default=8)
     type3.add_argument("--seed", type=int, default=0)
+    _add_workers(type3)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a batch campaign spec (JSON/TOML) across a worker pool",
+    )
+    campaign.add_argument("spec", help="path to the campaign spec file")
+    campaign.add_argument(
+        "--out-dir",
+        default=None,
+        help="write per-problem JSON reports plus campaign.json here",
+    )
+    _add_workers(campaign)
 
     return parser
 
@@ -72,28 +109,23 @@ def _pipeline_config(args):
     from repro.core.config import XPlainConfig
     from repro.subspace.generator import GeneratorConfig
 
+    workers = getattr(args, "workers", 1)
     return XPlainConfig(
         generator=GeneratorConfig(max_subspaces=args.subspaces, seed=args.seed),
         explainer_samples=args.samples,
         generalizer_samples=args.samples,
+        executor="process" if workers > 1 else "serial",
+        workers=workers,
         seed=args.seed,
     )
 
 
 def cmd_dp(args) -> int:
     from repro.core.pipeline import XPlain
-    from repro.domains.te import (
-        build_demand_set,
-        demand_pinning_problem,
-        fig1a_demand_pairs,
-        fig1a_topology,
-        fig4a_demand_pairs,
-    )
+    from repro.domains.te import fig1a_demand_pinning_problem
 
-    pairs = fig4a_demand_pairs() if args.fig4a else fig1a_demand_pairs()
-    demand_set = build_demand_set(fig1a_topology(), pairs, num_paths=2)
-    problem = demand_pinning_problem(
-        demand_set, threshold=args.threshold, d_max=args.d_max
+    problem = fig1a_demand_pinning_problem(
+        threshold=args.threshold, d_max=args.d_max, fig4a=args.fig4a
     )
     report = XPlain(problem, _pipeline_config(args)).run()
     print(report.summary())
@@ -122,7 +154,16 @@ def cmd_sched(args) -> int:
     return 0
 
 
-def cmd_fig1a(_args) -> int:
+def _note_workers_unused(args) -> None:
+    if getattr(args, "workers", 1) > 1:
+        print(
+            f"note: --workers {args.workers} ignored; this subcommand "
+            "runs no shardable pipeline work"
+        )
+
+
+def cmd_fig1a(args) -> int:
+    _note_workers_unused(args)
     from repro.core.visualize import render_gap_table
     from repro.domains.te import (
         build_demand_set,
@@ -142,7 +183,8 @@ def cmd_fig1a(_args) -> int:
     return 0
 
 
-def cmd_encode(_args) -> int:
+def cmd_encode(args) -> int:
+    _note_workers_unused(args)
     from repro.compiler import encode_model
     from repro.solver import Model, quicksum
 
@@ -166,6 +208,7 @@ def cmd_encode(_args) -> int:
 
 
 def cmd_type3(args) -> int:
+    _note_workers_unused(args)
     from repro.analyzer.bilevel import MetaOptAnalyzer
     from repro.generalize import (
         EnumerativeGeneralizer,
@@ -190,6 +233,21 @@ def cmd_type3(args) -> int:
     return 0
 
 
+def cmd_campaign(args) -> int:
+    from repro.parallel.campaign import (
+        describe_report,
+        load_campaign_spec,
+        run_campaign,
+    )
+
+    spec = load_campaign_spec(args.spec)
+    report = run_campaign(spec, workers=args.workers, out_dir=args.out_dir)
+    print(describe_report(report))
+    if args.out_dir:
+        print(f"reports written to {args.out_dir}/")
+    return 0
+
+
 COMMANDS = {
     "dp": cmd_dp,
     "vbp": cmd_vbp,
@@ -197,6 +255,7 @@ COMMANDS = {
     "fig1a": cmd_fig1a,
     "encode": cmd_encode,
     "type3": cmd_type3,
+    "campaign": cmd_campaign,
 }
 
 

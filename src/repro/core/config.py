@@ -4,7 +4,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.exceptions import AnalyzerError
 from repro.subspace.generator import GeneratorConfig
+
+#: legal values for the string-valued knobs, validated eagerly so a typo
+#: fails at construction with a clear message instead of deep inside
+#: ``make_analyzer`` / the solver dispatch
+ANALYZERS = ("auto", "metaopt", "blackbox")
+BACKENDS = ("auto", "scipy", "simplex")
+BLACKBOX_STRATEGIES = ("random", "hillclimb", "anneal")
+EXECUTORS = ("serial", "process")
 
 
 @dataclass
@@ -31,4 +40,49 @@ class XPlainConfig:
     explainer_cutoff: float = 0.2
     #: §5.4 within-instance generalization samples (0 disables)
     generalizer_samples: int = 200
+    #: work-unit execution backend: "serial" runs units in-process,
+    #: "process" shards them across ``workers`` worker processes (the
+    #: problem then needs a picklable spec; see DESIGN.md §9)
+    executor: str = "serial"
+    #: worker-process count for the process executor
+    workers: int = 1
+    #: points per evaluation work unit (sharding granularity; the unit
+    #: plan depends only on this, never on ``workers``, which is what
+    #: keeps parallel output bit-identical to serial)
+    unit_points: int = 64
     seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.analyzer not in ANALYZERS:
+            raise AnalyzerError(
+                f"unknown analyzer {self.analyzer!r}; "
+                f"expected one of {ANALYZERS}"
+            )
+        if self.backend not in BACKENDS:
+            raise AnalyzerError(
+                f"unknown backend {self.backend!r}; "
+                f"expected one of {BACKENDS}"
+            )
+        if self.blackbox_strategy not in BLACKBOX_STRATEGIES:
+            raise AnalyzerError(
+                f"unknown blackbox strategy {self.blackbox_strategy!r}; "
+                f"expected one of {BLACKBOX_STRATEGIES}"
+            )
+        if self.executor not in EXECUTORS:
+            raise AnalyzerError(
+                f"unknown executor {self.executor!r}; "
+                f"expected one of {EXECUTORS}"
+            )
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise AnalyzerError(
+                f"workers must be an integer >= 1, got {self.workers!r}"
+            )
+        if self.executor == "serial" and self.workers != 1:
+            raise AnalyzerError(
+                f"the serial executor is single-worker; got workers="
+                f"{self.workers}. Set executor='process' to parallelize."
+            )
+        if not isinstance(self.unit_points, int) or self.unit_points < 1:
+            raise AnalyzerError(
+                f"unit_points must be an integer >= 1, got {self.unit_points!r}"
+            )

@@ -27,6 +27,11 @@ from repro.exceptions import AnalyzerError
 from repro.explain.heatmap import build_heatmap
 from repro.explain.report import explain_heatmap
 from repro.explain.summarize import summarize_heatmap
+from repro.parallel.shard import (
+    STAGE_EXPLAIN,
+    STAGE_GENERALIZE,
+    derive_seed,
+)
 from repro.generalize.enumerate_ import (
     EnumerativeGeneralizer,
     observe_within_instance,
@@ -68,32 +73,68 @@ class XPlain:
         raise AnalyzerError(f"unknown analyzer mode {mode!r}")
 
     # ------------------------------------------------------------------
+    def make_executor(self):
+        """The work-unit executor this run's configuration asks for."""
+        from repro.parallel.executor import make_executor
+
+        return make_executor(
+            self.config.executor, self.config.workers, self.problem
+        )
+
+    # ------------------------------------------------------------------
     def run(self) -> XPlainReport:
-        """Execute the full pipeline and return the three-type report."""
+        """Execute the full pipeline and return the three-type report.
+
+        Every stage's bulk oracle work flows through the problem's
+        :class:`~repro.oracle.engine.OracleEngine`, which this method
+        routes through the configured executor: miss batches are cut
+        into placement-free work units and executed in-process
+        (``executor="serial"``) or across a process pool
+        (``executor="process"``, ``workers=N``). The unit plan and all
+        random streams are independent of the worker count, so a fixed
+        seed gives bit-identical reports at any parallelism (DESIGN.md
+        §9).
+        """
         config = self.config
         start = time.perf_counter()
-        rng = np.random.default_rng(config.seed)
-
-        # Type 1: adversarial subspaces (§5.2).
-        generator = AdversarialSubspaceGenerator(
-            self.problem, self.make_analyzer(), config.generator
-        )
-        generator_report = generator.run()
-
-        # Type 2: explain each significant subspace (§5.3).
-        explained = [
-            self._explain(subspace, rng) for subspace in generator_report.subspaces
-        ]
-
-        # Type 3: within-instance generalization (§5.4). Cross-instance
-        # generalization needs an instance generator and is driven
-        # explicitly (see repro.generalize.observe_across_instances).
-        generalization = None
-        if config.generalizer_samples > 0 and self.problem.features:
-            observations = observe_within_instance(
-                self.problem, config.generalizer_samples, rng
+        executor = self.make_executor()
+        self.problem.oracle.use_executor(executor, config.unit_points)
+        try:
+            # Type 1: adversarial subspaces (§5.2).
+            generator = AdversarialSubspaceGenerator(
+                self.problem, self.make_analyzer(), config.generator
             )
-            generalization = EnumerativeGeneralizer().search(observations)
+            generator_report = generator.run()
+
+            # Type 2: explain each significant subspace (§5.3). Each
+            # subspace owns a derived random stream (shard→seed), so the
+            # explanations are order-free and independently schedulable.
+            explained = [
+                self._explain(
+                    subspace,
+                    np.random.default_rng(
+                        derive_seed(config.seed, STAGE_EXPLAIN, i)
+                    ),
+                )
+                for i, subspace in enumerate(generator_report.subspaces)
+            ]
+
+            # Type 3: within-instance generalization (§5.4). Cross-instance
+            # generalization needs an instance generator and is driven
+            # explicitly (see repro.generalize.observe_across_instances).
+            generalization = None
+            if config.generalizer_samples > 0 and self.problem.features:
+                observations = observe_within_instance(
+                    self.problem,
+                    config.generalizer_samples,
+                    np.random.default_rng(
+                        derive_seed(config.seed, STAGE_GENERALIZE, 0)
+                    ),
+                )
+                generalization = EnumerativeGeneralizer().search(observations)
+        finally:
+            self.problem.oracle.use_executor(None)
+            executor.close()
 
         return XPlainReport(
             problem=self.problem,

@@ -43,4 +43,5 @@ __all__ = [
     "optimal_bin_count",
     "solve_optimal_packing",
     "vbp4_adversarial_sizes",
+    "vbp_flows_for_result",
 ]

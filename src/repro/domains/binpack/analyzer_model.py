@@ -298,7 +298,19 @@ def first_fit_problem(
             np.sum((np.asarray(x) > 0) & (np.asarray(x) <= capacity / 2.0))
         )
 
+    from repro.parallel.spec import ProblemSpec
+
     return AnalyzedProblem(
+        spec=ProblemSpec(
+            factory="repro.domains.binpack:first_fit_problem",
+            kwargs={
+                "num_balls": num_balls,
+                "num_bins": num_bins,
+                "capacity": capacity,
+                "max_ball": max_ball,
+                "name": name,
+            },
+        ),
         name=name or f"first_fit[{num_balls}x{m}]",
         input_names=[f"B{i}" for i in range(num_balls)],
         input_box=Box.from_arrays(

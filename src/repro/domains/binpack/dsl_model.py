@@ -14,7 +14,6 @@ multi-dimensional heuristics still work through the simulation path.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.domains.binpack.instance import PackingResult, VbpInstance
 from repro.dsl import FlowGraph, InputSpec, NodeKind

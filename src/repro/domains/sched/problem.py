@@ -68,7 +68,18 @@ def list_scheduling_problem(
     def duration_spread(x: np.ndarray) -> float:
         return float(np.max(x) - np.min(x))
 
+    from repro.parallel.spec import ProblemSpec
+
     return AnalyzedProblem(
+        spec=ProblemSpec(
+            factory="repro.domains.sched:list_scheduling_problem",
+            kwargs={
+                "num_jobs": num_jobs,
+                "num_machines": num_machines,
+                "max_duration": max_duration,
+                "name": name,
+            },
+        ),
         name=name or f"list_scheduling[{num_jobs}x{num_machines}]",
         input_names=[f"J{i}" for i in range(num_jobs)],
         input_box=Box.from_arrays(

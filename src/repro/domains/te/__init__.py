@@ -8,6 +8,7 @@ encoding used by the analyzer.
 from repro.domains.te.analyzer_model import (
     build_dp_encoding,
     demand_pinning_problem,
+    fig1a_demand_pinning_problem,
 )
 from repro.domains.te.demands import (
     Demand,
@@ -49,6 +50,7 @@ __all__ = [
     "build_te_graph",
     "demand_pinning_problem",
     "fig1a_demand_pairs",
+    "fig1a_demand_pinning_problem",
     "fig1a_topology",
     "fig4a_demand_pairs",
     "k_shortest_paths",

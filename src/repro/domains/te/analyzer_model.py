@@ -384,6 +384,50 @@ def demand_pinning_problem(
     )
 
 
+def fig1a_demand_pinning_problem(
+    threshold: float = 50.0,
+    d_max: float = 100.0,
+    fig4a: bool = False,
+    num_paths: int = 2,
+    name: str | None = None,
+) -> AnalyzedProblem:
+    """Demand Pinning on the paper's Fig. 1a topology, spec-attached.
+
+    Unlike :func:`demand_pinning_problem` (which takes a live
+    :class:`~repro.domains.te.demands.DemandSet` and therefore cannot be
+    rebuilt from JSON-safe arguments), this constructor is fully
+    described by scalars, so it carries a
+    :class:`~repro.parallel.spec.ProblemSpec` and works under the
+    process executor and in campaign specs. ``fig4a`` swaps in the eight
+    demand pairs of Fig. 4a.
+    """
+    from repro.domains.te.demands import (
+        build_demand_set,
+        fig1a_demand_pairs,
+        fig4a_demand_pairs,
+    )
+    from repro.domains.te.topology import fig1a_topology
+
+    pairs = fig4a_demand_pairs() if fig4a else fig1a_demand_pairs()
+    demand_set = build_demand_set(fig1a_topology(), pairs, num_paths=num_paths)
+    problem = demand_pinning_problem(
+        demand_set, threshold=threshold, d_max=d_max, name=name
+    )
+    from repro.parallel.spec import ProblemSpec
+
+    problem.spec = ProblemSpec(
+        factory="repro.domains.te:fig1a_demand_pinning_problem",
+        kwargs={
+            "threshold": threshold,
+            "d_max": d_max,
+            "fig4a": fig4a,
+            "num_paths": num_paths,
+            "name": name,
+        },
+    )
+    return problem
+
+
 def _dp_features(demand_set: DemandSet, threshold: float):
     """Feature functions F(I) for trees and the generalizer (§5.2, §5.4)."""
     features: dict[str, object] = {}

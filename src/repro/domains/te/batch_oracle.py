@@ -140,6 +140,17 @@ class TeBatchOracle:
         return optimal.total_flow, heuristic.total_flow, heuristic.feasible
 
     # ------------------------------------------------------------------
+    def reset_state(self) -> None:
+        """Drop both templates' warm-start bases (work-unit boundary).
+
+        Makes a batch's results a pure function of the batch itself, so
+        sharded execution is placement-free (DESIGN.md §9).
+        """
+        for template in (self._opt_template, self._dp_template):
+            if template is not None:
+                template.reset_state()
+
+    # ------------------------------------------------------------------
     def solver_counters(self) -> dict[str, float]:
         """Aggregated template counters for :class:`OracleStats`."""
         totals: dict[str, float] = {}

@@ -47,6 +47,9 @@ class OracleEngine:
         else:
             self.cache = cache
         self.stats = OracleStats()
+        #: sharded-dispatch backend (None = direct single-batch dispatch)
+        self._executor = None
+        self._unit_points = 64
 
     # ------------------------------------------------------------------
     def evaluate(self, x: np.ndarray) -> GapSample:
@@ -102,8 +105,54 @@ class OracleEngine:
         return GapSamples(xs, benchmark, heuristic, feasible)
 
     # ------------------------------------------------------------------
+    def use_executor(self, executor, unit_points: int | None = None) -> None:
+        """Route uncached evaluations through a work-unit executor.
+
+        With an executor installed, every miss batch is decomposed by
+        :func:`repro.parallel.shard.plan_units` into placement-free
+        :class:`~repro.parallel.work.EvalUnit`\\ s — the decomposition
+        depends only on the batch size, never on the worker count, which
+        is what makes ``workers=1`` and ``workers=N`` bit-identical.
+        Pass ``None`` to restore direct single-batch dispatch.
+        """
+        self._executor = executor
+        if unit_points is not None:
+            if unit_points < 1:
+                raise RuntimeError(
+                    f"unit_points must be >= 1, got {unit_points}"
+                )
+            self._unit_points = unit_points
+
+    def _dispatch_sharded(self, xs: np.ndarray) -> GapSamples:
+        """Evaluate a miss batch as work units on the installed executor."""
+        from repro.parallel.shard import plan_units
+        from repro.parallel.work import EvalUnit
+
+        units = [
+            EvalUnit(xs[start:stop])
+            for start, stop in plan_units(len(xs), self._unit_points)
+        ]
+        results = self._executor.map_units(units)
+        for unit, result in zip(units, results):
+            if result["path"] == "native":
+                self.stats.native_batched += len(unit.points)
+            else:
+                self.stats.scalar_fallback += len(unit.points)
+            if not self._executor.in_process:
+                # Out-of-process work never touches the driver's native
+                # oracle, so its solver counters arrive with the result.
+                self.stats.merge_counters(result["counters"])
+        return GapSamples(
+            xs,
+            np.concatenate([r["benchmark"] for r in results]),
+            np.concatenate([r["heuristic"] for r in results]),
+            np.concatenate([r["feasible"] for r in results]),
+        )
+
     def _dispatch(self, xs: np.ndarray) -> GapSamples:
         """Route uncached points to the native batch oracle or scalar loop."""
+        if self._executor is not None:
+            return self._dispatch_sharded(xs)
         native = self.problem.evaluate_batch
         if native is not None:
             self.stats.native_batched += len(xs)

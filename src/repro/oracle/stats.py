@@ -61,6 +61,22 @@ class OracleStats:
             }
         )
 
+    def __add__(self, other: "OracleStats") -> "OracleStats":
+        """Merge two counter blocks (e.g. across campaign workers)."""
+        return OracleStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def merge_counters(self, counters: dict) -> None:
+        """Fold a worker-reported counter delta into this block in place."""
+        for name, value in counters.items():
+            if hasattr(self, name):
+                current = getattr(self, name)
+                setattr(self, name, current + type(current)(value))
+
     def describe(self) -> str:
         lines = [
             f"oracle: {self.points} points "

@@ -1,0 +1,58 @@
+"""Parallel execution for the XPlain pipeline.
+
+The subsystem converts the single-threaded orchestration layer into an
+executor-agnostic architecture:
+
+* :mod:`repro.parallel.spec` — :class:`ProblemSpec`, a picklable recipe
+  for rebuilding an :class:`~repro.analyzer.interface.AnalyzedProblem`
+  inside a worker process (closures do not pickle; factories do);
+* :mod:`repro.parallel.work` — the picklable work-unit protocol
+  (:class:`EvalUnit` for sharded gap-oracle batches,
+  :class:`CampaignUnit` for whole pipeline runs);
+* :mod:`repro.parallel.shard` — deterministic batch→unit planning and
+  shard→seed derivation, the two pieces that make parallel output
+  bit-identical to serial for a fixed seed;
+* :mod:`repro.parallel.executor` — :class:`SerialExecutor` (in-process)
+  and :class:`ProcessExecutor` (process pool, one
+  :class:`~repro.oracle.engine.OracleEngine` per worker);
+* :mod:`repro.parallel.campaign` — fan a list of problems/configs out
+  across the pool and aggregate the reports with merged
+  :class:`~repro.oracle.stats.OracleStats`.
+
+See DESIGN.md §9 ("Parallel execution") for the determinism argument.
+"""
+
+from repro.parallel.campaign import (
+    CampaignJob,
+    CampaignSpec,
+    deterministic_view,
+    load_campaign_spec,
+    run_campaign,
+)
+from repro.parallel.executor import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    make_executor,
+)
+from repro.parallel.shard import derive_seed, plan_units
+from repro.parallel.spec import ProblemSpec
+from repro.parallel.work import CampaignUnit, EvalUnit, evaluate_unit
+
+__all__ = [
+    "CampaignJob",
+    "CampaignSpec",
+    "CampaignUnit",
+    "EvalUnit",
+    "Executor",
+    "ProblemSpec",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "derive_seed",
+    "deterministic_view",
+    "evaluate_unit",
+    "load_campaign_spec",
+    "make_executor",
+    "plan_units",
+    "run_campaign",
+]

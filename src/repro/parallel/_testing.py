@@ -1,0 +1,101 @@
+"""Importable problem factories for parallel-execution tests.
+
+Worker processes rebuild problems from ``"module:callable"`` specs, so
+test problems must live in an importable module — closures defined in a
+test file cannot be named by a :class:`~repro.parallel.spec.ProblemSpec`.
+These factories are tiny analytic problems (no LP solves) used by
+``tests/parallel/`` and the parallel benchmarks.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.analyzer.interface import AnalyzedProblem, GapSample, GapSamples
+from repro.parallel.spec import ProblemSpec
+from repro.subspace.region import Box
+
+
+def band_problem(dim: int = 2, lo: float = 0.6, hi: float = 0.9) -> AnalyzedProblem:
+    """Gap = 1 + x1/10 on the band ``lo <= x0 <= hi``, else 0.
+
+    The mild x1 tilt keeps gaps non-constant inside the band so trees
+    and significance tests have signal to work with. Ships a native
+    batched oracle (pure numpy, stateless → trivially placement-free).
+    """
+
+    def evaluate(x: np.ndarray) -> GapSample:
+        samples = evaluate_batch(np.asarray(x, dtype=float)[None, :])
+        return samples.sample(0)
+
+    def evaluate_batch(xs: np.ndarray) -> GapSamples:
+        xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        inside = (xs[:, 0] >= lo) & (xs[:, 0] <= hi)
+        tilt = xs[:, 1] / 10.0 if xs.shape[1] > 1 else 0.0
+        benchmark = np.where(inside, 1.0 + tilt, 0.0)
+        return GapSamples(xs, benchmark, np.zeros(len(xs)))
+
+    def heuristic_flows(x: np.ndarray):
+        return {("in", "out"): 0.0}
+
+    def benchmark_flows(x: np.ndarray):
+        return {("in", "out"): float(evaluate(x).benchmark_value)}
+
+    problem = AnalyzedProblem(
+        name=f"band-{dim}d",
+        input_names=[f"x{i}" for i in range(dim)],
+        input_box=Box.from_arrays(np.zeros(dim), np.ones(dim)),
+        evaluate=evaluate,
+        evaluate_batch=evaluate_batch,
+        heuristic_flows=heuristic_flows,
+        benchmark_flows=benchmark_flows,
+        linear_features={},
+    )
+    problem.spec = ProblemSpec(
+        factory="repro.parallel._testing:band_problem",
+        kwargs={"dim": dim, "lo": lo, "hi": hi},
+    )
+    return problem
+
+
+def crashing_problem(after: int = 0) -> AnalyzedProblem:
+    """A problem whose oracle raises after ``after`` evaluations."""
+    state = {"calls": 0}
+
+    def evaluate(x: np.ndarray) -> GapSample:
+        state["calls"] += 1
+        if state["calls"] > after:
+            raise RuntimeError("synthetic oracle crash")
+        return GapSample(x=x, benchmark_value=0.0, heuristic_value=0.0)
+
+    problem = AnalyzedProblem(
+        name="crashing",
+        input_names=["x0", "x1"],
+        input_box=Box.from_arrays(np.zeros(2), np.ones(2)),
+        evaluate=evaluate,
+    )
+    problem.spec = ProblemSpec(
+        factory="repro.parallel._testing:crashing_problem",
+        kwargs={"after": after},
+    )
+    return problem
+
+
+def dying_problem() -> AnalyzedProblem:
+    """A problem whose oracle kills its whole process (hard worker death)."""
+
+    def evaluate(x: np.ndarray) -> GapSample:
+        os._exit(17)
+
+    problem = AnalyzedProblem(
+        name="dying",
+        input_names=["x0"],
+        input_box=Box.from_arrays(np.zeros(1), np.ones(1)),
+        evaluate=evaluate,
+    )
+    problem.spec = ProblemSpec(
+        factory="repro.parallel._testing:dying_problem", kwargs={}
+    )
+    return problem

@@ -1,0 +1,337 @@
+"""Batch campaign runner: many problems/configs through one pool.
+
+A campaign is a small JSON (or TOML, Python >= 3.11) spec listing jobs::
+
+    {
+      "name": "smoke",
+      "seed": 7,
+      "defaults": {"explainer_samples": 40},
+      "jobs": [
+        {"name": "vbp-4x3",
+         "problem": {"factory": "repro.domains.binpack:first_fit_problem",
+                     "kwargs": {"num_balls": 4, "num_bins": 3}},
+         "config": {"generator": {"max_subspaces": 1}}}
+      ]
+    }
+
+:func:`run_campaign` fans the jobs out across a
+:class:`~repro.parallel.executor.ProcessExecutor` (or runs them inline
+with ``workers=1``), each worker rebuilding its job's problem from the
+:class:`~repro.parallel.spec.ProblemSpec` and running the full
+:class:`~repro.core.pipeline.XPlain` pipeline serially. Per-job seeds
+default to :func:`repro.parallel.shard.derive_seed`\\ (campaign seed,
+job index), so the campaign report is bit-identical for any worker
+count; wall-clock numbers live under ``"timing"`` keys, which
+:func:`deterministic_view` strips for comparisons.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import AnalyzerError
+from repro.oracle.stats import OracleStats
+from repro.parallel.executor import ProcessExecutor, SerialExecutor
+from repro.parallel.shard import STAGE_CAMPAIGN, derive_seed
+from repro.parallel.spec import ProblemSpec
+from repro.parallel.work import CampaignUnit
+
+#: OracleStats fields that are wall-clock (reported under "timing")
+_STATS_TIMING_FIELDS = ("lp_seconds", "eval_seconds")
+
+#: job names double as report file names: no separators, no dotdot
+_JOB_NAME_RE = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*")
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignJob:
+    """One problem + config override block of a campaign."""
+
+    name: str
+    problem: ProblemSpec
+    config: dict = field(default_factory=dict)
+    seed: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "problem": self.problem.to_dict(),
+            "config": dict(self.config),
+            "seed": self.seed,
+        }
+
+
+@dataclass
+class CampaignSpec:
+    """A named list of jobs plus campaign-wide defaults."""
+
+    name: str = "campaign"
+    seed: int = 0
+    defaults: dict = field(default_factory=dict)
+    jobs: list[CampaignJob] = field(default_factory=list)
+
+    @staticmethod
+    def from_dict(data: dict) -> "CampaignSpec":
+        jobs_data = data.get("jobs")
+        if not jobs_data:
+            raise AnalyzerError("campaign spec has no 'jobs'")
+        jobs = []
+        for i, job in enumerate(jobs_data):
+            if "problem" not in job:
+                raise AnalyzerError(f"campaign job #{i} has no 'problem' spec")
+            name = str(job.get("name", f"job-{i}"))
+            # Job names become report file names under --out-dir.
+            if not _JOB_NAME_RE.fullmatch(name) or name == "campaign":
+                raise AnalyzerError(
+                    f"campaign job name {name!r} is not usable as a report "
+                    "file name (letters, digits, '.', '_', '-' only; "
+                    "'campaign' is reserved for the aggregate report)"
+                )
+            jobs.append(
+                CampaignJob(
+                    name=name,
+                    problem=ProblemSpec.from_dict(job["problem"]),
+                    config=dict(job.get("config", {})),
+                    seed=job.get("seed"),
+                )
+            )
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise AnalyzerError(f"campaign job names must be unique, got {names}")
+        return CampaignSpec(
+            name=str(data.get("name", "campaign")),
+            seed=int(data.get("seed", 0)),
+            defaults=dict(data.get("defaults", {})),
+            jobs=jobs,
+        )
+
+
+def load_campaign_spec(path: str | Path) -> CampaignSpec:
+    """Read a campaign spec from a ``.json`` or ``.toml`` file."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix == ".toml":
+        try:
+            import tomllib
+        except ImportError:  # Python 3.10: stdlib tomllib arrived in 3.11
+            raise AnalyzerError(
+                "TOML campaign specs need Python >= 3.11 (tomllib); "
+                "use a JSON spec on this interpreter"
+            ) from None
+        data = tomllib.loads(text)
+    else:
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise AnalyzerError(
+                f"campaign spec {path} is not valid JSON: {exc}"
+            ) from exc
+    return CampaignSpec.from_dict(data)
+
+
+# ----------------------------------------------------------------------
+def _build_job_config(payload: dict):
+    """An :class:`XPlainConfig` from a merged defaults+job override dict."""
+    from repro.core.config import XPlainConfig
+    from repro.subspace.generator import GeneratorConfig
+
+    overrides = dict(payload)
+    generator_overrides = overrides.pop("generator", {})
+    known = {f.name for f in dataclasses.fields(XPlainConfig)}
+    unknown = set(overrides) - known
+    if unknown:
+        raise AnalyzerError(
+            f"unknown XPlainConfig overrides in campaign job: {sorted(unknown)}"
+        )
+    generator_known = {f.name for f in dataclasses.fields(GeneratorConfig)}
+    generator_unknown = set(generator_overrides) - generator_known
+    if generator_unknown:
+        raise AnalyzerError(
+            "unknown GeneratorConfig overrides in campaign job: "
+            f"{sorted(generator_unknown)}"
+        )
+    config = XPlainConfig(
+        generator=GeneratorConfig(**generator_overrides), **overrides
+    )
+    return config
+
+
+def _stats_dicts(stats) -> tuple[dict, dict]:
+    """Split OracleStats into (deterministic counters, timing)."""
+    if stats is None:
+        return {}, {}
+    data = {f.name: getattr(stats, f.name) for f in dataclasses.fields(OracleStats)}
+    timing = {k: data.pop(k) for k in _STATS_TIMING_FIELDS}
+    return data, timing
+
+
+def execute_job(job_payload: dict) -> dict:
+    """Run one campaign job to a JSON-safe report dict (worker side)."""
+    from repro.core.pipeline import XPlain
+
+    spec = ProblemSpec.from_dict(job_payload["problem"])
+    problem = spec.build()
+    config = _build_job_config(job_payload.get("config", {}))
+    seed = int(job_payload["seed"])
+    config.seed = seed
+    config.generator.seed = seed
+    # Jobs parallelize across the pool, not within it: no nested pools.
+    config.executor = "serial"
+    config.workers = 1
+    report = XPlain(problem, config).run()
+
+    counters, stats_timing = _stats_dicts(report.generator_report.oracle_stats)
+    subspaces = []
+    for explained in report.explained:
+        region = explained.subspace.region
+        subspaces.append(
+            {
+                "box_lo": [float(v) for v in region.box.lo_array],
+                "box_hi": [float(v) for v in region.box.hi_array],
+                "halfspaces": [
+                    {"coeffs": [float(c) for c in h.coeffs], "rhs": float(h.rhs)}
+                    for h in region.halfspaces
+                ],
+                "seed_gap": float(explained.subspace.seed.validated_gap),
+                "mean_gap_inside": float(explained.subspace.mean_gap_inside),
+                "significant": bool(explained.subspace.significant),
+                "p_value": float(explained.subspace.significance.p_value),
+            }
+        )
+    return {
+        "name": job_payload["name"],
+        "problem": spec.to_dict(),
+        "seed": seed,
+        "input_names": list(problem.input_names),
+        "worst_gap": float(report.worst_gap),
+        "threshold": float(report.generator_report.threshold),
+        "num_subspaces": int(report.num_subspaces),
+        "num_rejected": len(report.generator_report.rejected),
+        "analyzer_calls": int(report.generator_report.analyzer_calls),
+        "subspaces": subspaces,
+        "oracle": counters,
+        "timing": {
+            "runtime_seconds": float(report.runtime_seconds),
+            **stats_timing,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    out_dir: str | Path | None = None,
+) -> dict:
+    """Fan the campaign's jobs across a pool and aggregate the reports.
+
+    Returns the campaign report dict; with ``out_dir`` set, also writes
+    one ``<job>.json`` per problem plus the aggregate ``campaign.json``.
+    """
+    if not isinstance(workers, int) or workers < 1:
+        raise AnalyzerError(
+            f"campaign workers must be an integer >= 1, got {workers!r}"
+        )
+    units = []
+    for index, job in enumerate(spec.jobs):
+        payload = job.to_dict()
+        merged = dict(spec.defaults)
+        # Nested generator overrides merge key-wise, not wholesale.
+        merged_generator = dict(merged.pop("generator", {}))
+        job_config = dict(payload["config"])
+        merged_generator.update(job_config.pop("generator", {}))
+        merged.update(job_config)
+        if merged_generator:
+            merged["generator"] = merged_generator
+        payload["config"] = merged
+        if payload["seed"] is None:
+            payload["seed"] = derive_seed(spec.seed, STAGE_CAMPAIGN, index)
+        units.append(CampaignUnit(payload))
+
+    executor = ProcessExecutor(workers) if workers > 1 else SerialExecutor()
+    try:
+        results = executor.map_units(units)
+    finally:
+        executor.close()
+
+    totals = OracleStats()
+    for result in results:
+        totals = totals + OracleStats(
+            **result["oracle"],
+            **{k: result["timing"].get(k, 0.0) for k in _STATS_TIMING_FIELDS},
+        )
+    counters, stats_timing = _stats_dicts(totals)
+    report = {
+        "campaign": spec.name,
+        "seed": spec.seed,
+        "problems": results,
+        "oracle_totals": counters,
+        "worst_gap": max(
+            (r["worst_gap"] for r in results), default=0.0
+        ),
+        "num_subspaces_total": sum(r["num_subspaces"] for r in results),
+        "timing": {
+            "workers": workers,
+            "runtime_seconds": sum(
+                r["timing"]["runtime_seconds"] for r in results
+            ),
+            **stats_timing,
+        },
+    }
+
+    if out_dir is not None:
+        out_dir = Path(out_dir)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        for result in results:
+            path = out_dir / f"{result['name']}.json"
+            path.write_text(json.dumps(result, indent=2, sort_keys=True))
+        (out_dir / "campaign.json").write_text(
+            json.dumps(report, indent=2, sort_keys=True)
+        )
+    return report
+
+
+def deterministic_view(report: dict) -> dict:
+    """The report with every wall-clock ``"timing"`` block stripped.
+
+    This is the part of a campaign report guaranteed bit-identical
+    across worker counts for a fixed seed.
+    """
+
+    def strip(value):
+        if isinstance(value, dict):
+            return {k: strip(v) for k, v in value.items() if k != "timing"}
+        if isinstance(value, list):
+            return [strip(v) for v in value]
+        return value
+
+    return strip(report)
+
+
+def describe_report(report: dict) -> str:
+    """A terminal summary of one campaign report."""
+    lines = [
+        f"campaign {report['campaign']!r}: "
+        f"{len(report['problems'])} problems, "
+        f"{report['num_subspaces_total']} subspaces, "
+        f"worst gap {report['worst_gap']:.4g}",
+    ]
+    for result in report["problems"]:
+        lines.append(
+            f"  {result['name']:<20} gap {result['worst_gap']:>9.4g}  "
+            f"subspaces {result['num_subspaces']}  "
+            f"({result['timing']['runtime_seconds']:.1f}s)"
+        )
+    totals = report["oracle_totals"]
+    lines.append(
+        f"  oracle totals: {totals.get('points', 0)} points, "
+        f"{totals.get('cache_hits', 0)} cached, "
+        f"{totals.get('warm_solves', 0)} warm / "
+        f"{totals.get('cold_solves', 0)} cold LP solves"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Picklable problem recipes for worker processes.
+
+An :class:`~repro.analyzer.interface.AnalyzedProblem` is a bundle of
+closures (gap oracle, flow extractors, canonicalizer) and therefore does
+not pickle. Worker processes instead receive a :class:`ProblemSpec` — the
+dotted path of a factory callable plus JSON-safe keyword arguments — and
+rebuild the problem once per process. Domain constructors with picklable
+arguments attach a spec automatically (see
+:func:`repro.domains.binpack.first_fit_problem`,
+:func:`repro.domains.te.fig1a_demand_pinning_problem`), so their problems
+work under the process executor out of the box.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+from repro.exceptions import AnalyzerError
+
+
+@dataclass(frozen=True)
+class ProblemSpec:
+    """A rebuildable description of one analyzed problem.
+
+    ``factory`` is ``"package.module:callable"``; ``kwargs`` must be
+    JSON-serializable so specs round-trip through campaign spec files.
+    """
+
+    factory: str
+    kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if ":" not in self.factory:
+            raise AnalyzerError(
+                f"problem spec factory {self.factory!r} must be "
+                "'package.module:callable'"
+            )
+
+    # ------------------------------------------------------------------
+    def build(self):
+        """Import the factory and construct the problem."""
+        module_name, _, attr = self.factory.partition(":")
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise AnalyzerError(
+                f"problem spec factory module {module_name!r} "
+                f"failed to import: {exc}"
+            ) from exc
+        try:
+            factory = getattr(module, attr)
+        except AttributeError:
+            raise AnalyzerError(
+                f"module {module_name!r} has no factory {attr!r}"
+            ) from None
+        problem = factory(**self.kwargs)
+        if getattr(problem, "spec", None) is None:
+            problem.spec = self
+        return problem
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {"factory": self.factory, "kwargs": dict(self.kwargs)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ProblemSpec":
+        try:
+            factory = data["factory"]
+        except KeyError:
+            raise AnalyzerError("problem spec needs a 'factory' key") from None
+        kwargs = data.get("kwargs", {})
+        if not isinstance(kwargs, dict):
+            raise AnalyzerError("problem spec 'kwargs' must be a mapping")
+        return ProblemSpec(factory=factory, kwargs=kwargs)

@@ -13,7 +13,6 @@ itself to matrix form and to dispatch solving to a backend:
 from __future__ import annotations
 
 import itertools
-import math
 import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence

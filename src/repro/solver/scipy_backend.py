@@ -36,7 +36,6 @@ def _status_from_milp(status_code: int) -> SolveStatus:
 def solve_scipy(model: Model, time_limit: float | None = None) -> Solution:
     """Solve ``model`` with ``scipy.optimize.linprog`` or ``milp``."""
     mf = model.to_matrix_form()
-    n = len(mf.variables)
     bounds_lb = mf.lb.copy()
     bounds_ub = mf.ub.copy()
 

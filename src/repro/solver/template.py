@@ -85,7 +85,6 @@ class LpTemplate:
         assert sf.row_shifts is not None
 
         # ---- vectorized objective map -------------------------------------
-        n = len(self._variables)
         self._pos_cols = np.array([vm.positive for vm in sf.var_maps])
         neg = [
             (i, vm.negative)
@@ -171,6 +170,17 @@ class LpTemplate:
         )
         stats.runtime_seconds = time.perf_counter() - start
         return solution
+
+    # -- state ----------------------------------------------------------------
+    def reset_state(self) -> None:
+        """Forget the warm-start basis (counters are kept).
+
+        Sharded parallel execution calls this at every work-unit boundary
+        so a unit's solves depend only on the unit's own points — the
+        next solve goes through the cold two-phase simplex, after which
+        warm chaining resumes within the unit.
+        """
+        self._basis = None
 
     # -- introspection --------------------------------------------------------
     def solver_counters(self) -> dict[str, float]:

@@ -9,8 +9,10 @@ from repro.subspace.generator import (
 from repro.subspace.region import Box, Halfspace, Region
 from repro.subspace.sampler import (
     SampleSet,
+    collect_outside,
     dkw_sample_size,
     sample_in_box,
+    sample_in_boxes,
     sample_in_shell,
 )
 from repro.subspace.significance import (
@@ -44,10 +46,12 @@ __all__ = [
     "SignificanceResult",
     "Subspace",
     "TreePredicate",
+    "collect_outside",
     "dkw_sample_size",
     "expand_around",
     "path_to_halfspaces",
     "sample_in_box",
+    "sample_in_boxes",
     "sample_in_shell",
     "wilcoxon_signed_rank",
 ]

@@ -23,8 +23,8 @@ from repro.exceptions import SubspaceError
 from repro.subspace.region import Box, Halfspace, Region
 from repro.subspace.sampler import (
     SampleSet,
+    collect_outside,
     sample_in_box,
-    sample_in_shell,
 )
 from repro.subspace.significance import (
     ALPHA,
@@ -351,11 +351,16 @@ class AdversarialSubspaceGenerator:
         threshold: float,
         rng: np.random.Generator,
     ) -> SignificanceResult:
+        """Wilcoxon inside-vs-just-outside check, as one oracle batch.
+
+        Both pools are *collected* first and evaluated together, so the
+        engine sees a single ``2 * pairs`` batch it can shard across
+        workers instead of two half-size ones (work-unit extraction).
+        """
         config = self.config
         problem = self.problem
         pairs = config.significance_pairs
         inside_points = region.sample(rng, pairs)
-        inside_gaps = problem.evaluate_many(inside_points).gaps
 
         shell_widths = problem.input_box.widths * config.shell_fraction
         outer = Box.from_arrays(
@@ -367,15 +372,16 @@ class AdversarialSubspaceGenerator:
             ),
         )
         try:
-            outside = sample_in_shell(
-                problem, region, outer, pairs, threshold, rng
-            )
+            outside_points = collect_outside(region, outer, pairs, rng)
         except SubspaceError:
             # Region fills its neighborhood: compare against the whole
             # input domain instead.
-            outside = sample_in_shell(
-                problem, region, problem.input_box, pairs, threshold, rng
+            outside_points = collect_outside(
+                region, problem.input_box, pairs, rng
             )
+        gaps = problem.evaluate_many(
+            np.vstack([inside_points, outside_points])
+        ).gaps
         return wilcoxon_signed_rank(
-            inside_gaps, outside.gaps, alpha=config.alpha
+            gaps[:pairs], gaps[pairs:], alpha=config.alpha
         )

@@ -93,6 +93,64 @@ def sample_in_box(
     return SampleSet(points, samples.gaps, threshold)
 
 
+def sample_in_boxes(
+    problem: AnalyzedProblem,
+    boxes: list[Box],
+    count: int,
+    threshold: float,
+    rng: np.random.Generator,
+) -> list[SampleSet]:
+    """Sample ``count`` points per box, evaluated as ONE oracle batch.
+
+    The work-unit extraction behind the slice expander: points are drawn
+    box by box (so the random stream matches a per-box loop) but the gap
+    oracle sees a single ``len(boxes) * count`` batch, which the engine
+    can cut into full-size work units and shard across workers instead
+    of dribbling one small slab at a time.
+    """
+    if count <= 0 or not boxes:
+        return [
+            SampleSet(np.zeros((0, b.dim)), np.zeros(0), threshold)
+            for b in boxes
+        ]
+    points = [box.sample(rng, count) for box in boxes]
+    samples = problem.evaluate_many(np.vstack(points))
+    return [
+        SampleSet(
+            points[i],
+            samples.gaps[i * count : (i + 1) * count],
+            threshold,
+        )
+        for i in range(len(boxes))
+    ]
+
+
+def collect_outside(
+    inner: Box | Region,
+    outer: Box,
+    count: int,
+    rng: np.random.Generator,
+    max_tries: int = 60,
+) -> np.ndarray:
+    """Draw ``count`` points in ``outer`` but *outside* ``inner``.
+
+    Pure point collection — no oracle evaluation — so callers can fold
+    the result into a larger evaluation batch (work-unit extraction).
+    """
+    collected: list[np.ndarray] = []
+    for _ in range(max_tries):
+        batch = outer.sample(rng, count)
+        mask = ~inner.contains_many(batch)
+        collected.extend(batch[mask])
+        if len(collected) >= count:
+            break
+    if not collected:
+        raise SubspaceError(
+            "could not sample outside the region; it may cover the domain"
+        )
+    return np.array(collected[:count])
+
+
 def sample_in_shell(
     problem: AnalyzedProblem,
     inner: Box | Region,
@@ -107,17 +165,6 @@ def sample_in_shell(
     Used by the significance checker: the comparison pool lives
     immediately outside the candidate subspace.
     """
-    collected: list[np.ndarray] = []
-    for _ in range(max_tries):
-        batch = outer.sample(rng, count)
-        mask = ~inner.contains_many(batch)
-        collected.extend(batch[mask])
-        if len(collected) >= count:
-            break
-    if not collected:
-        raise SubspaceError(
-            "could not sample outside the region; it may cover the domain"
-        )
-    points = np.array(collected[:count])
+    points = collect_outside(inner, outer, count, rng, max_tries)
     samples = problem.evaluate_many(points)
     return SampleSet(points, samples.gaps, threshold)

@@ -8,6 +8,11 @@ the adversarial subspace may not be uniformly spread around the initial
 point" — and keeps the expansion iff the slab's bad-sample density stays
 above a threshold. It stops when every direction has stalled (or hit the
 input-domain boundary).
+
+Slabs are proposed per sweep (one per still-active direction, all against
+the sweep-start box) and their samples are evaluated as one oracle batch,
+so the engine can cut the sweep into full-size work units and shard them
+across workers (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -19,7 +24,7 @@ import numpy as np
 from repro.analyzer.interface import AnalyzedProblem
 from repro.exceptions import SubspaceError
 from repro.subspace.region import Box
-from repro.subspace.sampler import SampleSet, sample_in_box
+from repro.subspace.sampler import SampleSet, sample_in_box, sample_in_boxes
 
 
 @dataclass
@@ -87,22 +92,38 @@ def expand_around(
     trace: list[ExpansionTrace] = []
 
     # Directions: (dim, -1) grows the lower face, (dim, +1) the upper face.
+    # Each sweep proposes one slab per still-active direction against the
+    # sweep-start box, evaluates ALL slabs as one oracle batch (a full
+    # work unit the engine can shard across workers), then applies the
+    # accept/stall decisions in direction order.
     active = [(d, s) for d in range(bounds.dim) for s in (-1, +1)]
     accepted_total = 0
     while active and accepted_total < config.max_expansions:
-        still_active: list[tuple[int, int]] = []
+        candidates: list[tuple[int, int, Box]] = []
         for dim, direction in active:
             step = widths[dim] * config.step_fraction
             grown = box.expanded(dim, direction, step, bounds=bounds)
             slab = _new_slab(box, grown, dim, direction)
             if slab is None:  # hit the domain boundary; direction is done
                 continue
-            slab_samples = sample_in_box(
-                problem, slab, config.samples_per_slice, threshold, rng
-            )
+            candidates.append((dim, direction, slab))
+        if not candidates:
+            break
+        slab_sets = sample_in_boxes(
+            problem,
+            [slab for _, _, slab in candidates],
+            config.samples_per_slice,
+            threshold,
+            rng,
+        )
+        still_active: list[tuple[int, int]] = []
+        for (dim, direction, slab), slab_samples in zip(candidates, slab_sets):
             samples = samples.merged_with(slab_samples)
             density = slab_samples.bad_density
-            accept = density >= config.density_threshold
+            accept = (
+                density >= config.density_threshold
+                and accepted_total < config.max_expansions
+            )
             trace.append(
                 ExpansionTrace(
                     dim=dim,
@@ -113,11 +134,14 @@ def expand_around(
                 )
             )
             if accept:
-                box = grown
+                box = box.expanded(
+                    dim,
+                    direction,
+                    widths[dim] * config.step_fraction,
+                    bounds=bounds,
+                )
                 accepted_total += 1
                 still_active.append((dim, direction))
-                if accepted_total >= config.max_expansions:
-                    break
             # A stalled direction stays stalled: "we stop when the density
             # of bad samples drops in all possible expansion directions".
         active = still_active

@@ -13,7 +13,7 @@ class TestSplitLowering:
         # Source 10 -> split -> two sink paths with caps 3 and 4: max 7
         # routed; supply is an input so total must equal routed + nothing,
         # hence feasibility requires input <= 7.
-        graph = (
+        _graph = (
             FlowGraphBuilder()
             .input_source("s", lb=0, ub=7)
             .split("n")

@@ -28,6 +28,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_every_subcommand_accepts_workers(self):
+        for argv in (
+            ["dp"], ["vbp"], ["sched"], ["fig1a"], ["encode"],
+            ["type3"], ["campaign", "spec.json"],
+        ):
+            args = build_parser().parse_args(argv + ["--workers", "3"])
+            assert args.workers == 3
+
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "my-spec.json", "--out-dir", "reports"]
+        )
+        assert args.spec == "my-spec.json"
+        assert args.out_dir == "reports"
+        assert args.workers == 1
+
 
 class TestCommands:
     def test_fig1a_prints_table(self, capsys):
@@ -60,3 +76,31 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "worst-case gap found: 100" in out
         assert "Wilcoxon" in out
+
+    def test_dp_with_workers_matches_serial(self, capsys):
+        argv = ["dp", "--samples", "30", "--subspaces", "1", "--seed", "2"]
+        assert main(argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        # Identical report text except wall-clock lines (runtime, oracle
+        # eval seconds, LP solve seconds).
+        def strip(text):
+            return [
+                line for line in text.splitlines()
+                if "runtime" not in line
+                and " in " not in line
+                and "lp templates" not in line
+            ]
+
+        assert strip(parallel_out) == strip(serial_out)
+
+    def test_campaign_runs_spec(self, capsys, tmp_path):
+        code = main(
+            ["campaign", "examples/campaign_smoke.json",
+             "--out-dir", str(tmp_path / "out")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "campaign 'smoke'" in out
+        assert (tmp_path / "out" / "campaign.json").exists()

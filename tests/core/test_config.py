@@ -1,0 +1,54 @@
+"""XPlainConfig must reject bad knob values eagerly with clear messages."""
+
+import pytest
+
+from repro import XPlainConfig
+from repro.exceptions import AnalyzerError
+
+
+class TestConfigValidation:
+    def test_defaults_are_valid(self):
+        config = XPlainConfig()
+        assert config.analyzer == "auto"
+        assert config.executor == "serial"
+        assert config.workers == 1
+
+    def test_unknown_analyzer(self):
+        with pytest.raises(AnalyzerError, match="unknown analyzer 'metopt'"):
+            XPlainConfig(analyzer="metopt")
+
+    def test_unknown_backend(self):
+        with pytest.raises(AnalyzerError, match="unknown backend"):
+            XPlainConfig(backend="gurobi")
+
+    def test_unknown_blackbox_strategy(self):
+        with pytest.raises(AnalyzerError, match="unknown blackbox strategy"):
+            XPlainConfig(blackbox_strategy="genetic")
+
+    def test_unknown_executor(self):
+        with pytest.raises(AnalyzerError, match="unknown executor"):
+            XPlainConfig(executor="threads")
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(AnalyzerError, match="workers"):
+            XPlainConfig(executor="process", workers=0)
+
+    def test_workers_must_be_int(self):
+        with pytest.raises(AnalyzerError, match="workers"):
+            XPlainConfig(executor="process", workers=2.5)
+
+    def test_serial_executor_is_single_worker(self):
+        with pytest.raises(AnalyzerError, match="single-worker"):
+            XPlainConfig(executor="serial", workers=4)
+
+    def test_process_executor_accepts_workers(self):
+        config = XPlainConfig(executor="process", workers=4)
+        assert config.workers == 4
+
+    def test_unit_points_validated(self):
+        with pytest.raises(AnalyzerError, match="unit_points"):
+            XPlainConfig(unit_points=0)
+
+    def test_error_message_lists_choices(self):
+        with pytest.raises(AnalyzerError, match="metaopt"):
+            XPlainConfig(analyzer="bogus")

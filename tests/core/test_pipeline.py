@@ -1,6 +1,5 @@
 """Tests for the end-to-end XPlain pipeline and visualizations."""
 
-import numpy as np
 import pytest
 
 from repro import XPlain, XPlainConfig

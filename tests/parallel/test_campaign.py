@@ -1,0 +1,179 @@
+"""Tests for the campaign runner: spec parsing, reports, determinism."""
+
+import json
+import sys
+
+import pytest
+
+from repro.exceptions import AnalyzerError
+from repro.parallel.campaign import (
+    CampaignSpec,
+    deterministic_view,
+    load_campaign_spec,
+    run_campaign,
+)
+
+SPEC_DATA = {
+    "name": "test-campaign",
+    "seed": 11,
+    "defaults": {
+        "explainer_samples": 15,
+        "generalizer_samples": 0,
+        "generator": {
+            "max_subspaces": 1,
+            "tree_extra_samples": 40,
+            "significance_pairs": 12,
+        },
+    },
+    "jobs": [
+        {
+            "name": "band",
+            "problem": {
+                "factory": "repro.parallel._testing:band_problem",
+                "kwargs": {"dim": 2},
+            },
+        },
+        {
+            "name": "vbp-3x3",
+            "problem": {
+                "factory": "repro.domains.binpack:first_fit_problem",
+                "kwargs": {"num_balls": 3, "num_bins": 3},
+            },
+            "config": {"generator": {"tree_extra_samples": 30}},
+        },
+    ],
+}
+
+
+class TestSpecParsing:
+    def test_from_dict(self):
+        spec = CampaignSpec.from_dict(SPEC_DATA)
+        assert spec.name == "test-campaign"
+        assert len(spec.jobs) == 2
+        assert spec.jobs[1].config["generator"]["tree_extra_samples"] == 30
+
+    def test_json_file(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(SPEC_DATA))
+        spec = load_campaign_spec(path)
+        assert [job.name for job in spec.jobs] == ["band", "vbp-3x3"]
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 11), reason="tomllib is stdlib from 3.11"
+    )
+    def test_toml_file(self, tmp_path):
+        path = tmp_path / "campaign.toml"
+        path.write_text(
+            "name = 'toml-campaign'\n"
+            "seed = 3\n"
+            "[[jobs]]\n"
+            "name = 'band'\n"
+            "[jobs.problem]\n"
+            "factory = 'repro.parallel._testing:band_problem'\n"
+        )
+        spec = load_campaign_spec(path)
+        assert spec.name == "toml-campaign"
+        assert spec.jobs[0].problem.factory.endswith("band_problem")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalyzerError, match="not valid JSON"):
+            load_campaign_spec(path)
+
+    def test_no_jobs(self):
+        with pytest.raises(AnalyzerError, match="no 'jobs'"):
+            CampaignSpec.from_dict({"name": "empty"})
+
+    def test_missing_problem(self):
+        with pytest.raises(AnalyzerError, match="no 'problem'"):
+            CampaignSpec.from_dict({"jobs": [{"name": "x"}]})
+
+    def test_duplicate_names(self):
+        job = SPEC_DATA["jobs"][0]
+        with pytest.raises(AnalyzerError, match="unique"):
+            CampaignSpec.from_dict({"jobs": [job, job]})
+
+    @pytest.mark.parametrize(
+        "name", ["te/fig1a", "../escape", ".hidden", "campaign", ""]
+    )
+    def test_unsafe_job_names_rejected(self, name):
+        # Names become report file paths under --out-dir.
+        job = dict(SPEC_DATA["jobs"][0], name=name)
+        with pytest.raises(AnalyzerError, match="file name"):
+            CampaignSpec.from_dict({"jobs": [job]})
+
+    def test_invalid_worker_count_rejected(self):
+        spec = CampaignSpec.from_dict(SPEC_DATA)
+        with pytest.raises(AnalyzerError, match="workers"):
+            run_campaign(spec, workers=0)
+
+    def test_unknown_config_key_fails_at_run(self):
+        spec = CampaignSpec.from_dict(
+            {
+                "jobs": [
+                    {
+                        "name": "bad",
+                        "problem": {
+                            "factory": "repro.parallel._testing:band_problem"
+                        },
+                        "config": {"explodiness": 9},
+                    }
+                ]
+            }
+        )
+        with pytest.raises(AnalyzerError, match="explodiness"):
+            run_campaign(spec, workers=1)
+
+
+class TestRunCampaign:
+    @pytest.fixture(scope="class")
+    def serial_report(self, tmp_path_factory):
+        out_dir = tmp_path_factory.mktemp("campaign-serial")
+        spec = CampaignSpec.from_dict(SPEC_DATA)
+        return run_campaign(spec, workers=1, out_dir=out_dir), out_dir
+
+    def test_report_shape(self, serial_report):
+        report, _ = serial_report
+        assert report["campaign"] == "test-campaign"
+        assert [r["name"] for r in report["problems"]] == ["band", "vbp-3x3"]
+        assert report["num_subspaces_total"] >= 1
+        assert report["worst_gap"] > 0
+
+    def test_files_written(self, serial_report):
+        report, out_dir = serial_report
+        for name in ("band", "vbp-3x3", "campaign"):
+            path = out_dir / f"{name}.json"
+            assert path.exists()
+            json.loads(path.read_text())  # valid JSON
+
+    def test_merged_stats_are_sums(self, serial_report):
+        report, _ = serial_report
+        total = sum(r["oracle"]["points"] for r in report["problems"])
+        assert report["oracle_totals"]["points"] == total
+        assert report["oracle_totals"]["points"] > 0
+
+    def test_derived_seeds_are_deterministic(self, serial_report):
+        report, _ = serial_report
+        seeds = [r["seed"] for r in report["problems"]]
+        again = run_campaign(CampaignSpec.from_dict(SPEC_DATA), workers=1)
+        assert [r["seed"] for r in again["problems"]] == seeds
+
+    def test_workers_4_bit_identical(self, serial_report):
+        """The acceptance criterion: identical campaign report JSON
+        across workers=1 and workers=4 (timing stripped)."""
+        report, _ = serial_report
+        parallel = run_campaign(CampaignSpec.from_dict(SPEC_DATA), workers=4)
+        assert deterministic_view(parallel) == deterministic_view(report)
+
+    def test_deterministic_view_strips_timing(self, serial_report):
+        report, _ = serial_report
+        view = deterministic_view(report)
+        assert "timing" not in view
+        assert all("timing" not in p for p in view["problems"])
+
+    def test_explicit_job_seed_wins(self):
+        data = json.loads(json.dumps(SPEC_DATA))
+        data["jobs"] = [dict(data["jobs"][0], seed=99)]
+        report = run_campaign(CampaignSpec.from_dict(data), workers=1)
+        assert report["problems"][0]["seed"] == 99

@@ -1,0 +1,130 @@
+"""Serial vs parallel must be bit-identical for a fixed seed (DESIGN.md §9)."""
+
+import numpy as np
+import pytest
+
+from repro import XPlain, XPlainConfig
+from repro.domains.binpack import first_fit_problem
+from repro.exceptions import AnalyzerError
+from repro.parallel._testing import band_problem, crashing_problem
+from repro.subspace import GeneratorConfig
+
+
+def make_config(**overrides):
+    defaults = dict(
+        generator=GeneratorConfig(
+            max_subspaces=2,
+            tree_extra_samples=80,
+            significance_pairs=16,
+            seed=5,
+        ),
+        explainer_samples=30,
+        generalizer_samples=40,
+        unit_points=16,
+        seed=5,
+    )
+    defaults.update(overrides)
+    return XPlainConfig(**defaults)
+
+
+def assert_reports_identical(first, second):
+    """Every deterministic field of two XPlainReports matches exactly."""
+    ga, gb = first.generator_report, second.generator_report
+    assert ga.threshold == gb.threshold
+    assert ga.analyzer_calls == gb.analyzer_calls
+    assert len(ga.subspaces) == len(gb.subspaces)
+    assert len(ga.rejected) == len(gb.rejected)
+    for sa, sb in zip(ga.subspaces, gb.subspaces):
+        assert np.array_equal(sa.region.box.lo_array, sb.region.box.lo_array)
+        assert np.array_equal(sa.region.box.hi_array, sb.region.box.hi_array)
+        assert [(h.coeffs, h.rhs) for h in sa.region.halfspaces] == [
+            (h.coeffs, h.rhs) for h in sb.region.halfspaces
+        ]
+        assert sa.seed.validated_gap == sb.seed.validated_gap
+        assert sa.significance.p_value == sb.significance.p_value
+        assert sa.mean_gap_inside == sb.mean_gap_inside
+        assert np.array_equal(sa.samples.points, sb.samples.points)
+        assert np.array_equal(sa.samples.gaps, sb.samples.gaps)
+    assert first.worst_gap == second.worst_gap
+    for ea, eb in zip(first.explained, second.explained):
+        assert ea.heatmap.num_samples == eb.heatmap.num_samples
+        assert set(ea.heatmap.scores) == set(eb.heatmap.scores)
+        for key, score_a in ea.heatmap.scores.items():
+            assert score_a.mean_score == eb.heatmap.scores[key].mean_score
+
+
+class TestGeneratorDeterminism:
+    """Same seed ⇒ identical GeneratorReport regions at any worker count."""
+
+    @pytest.fixture(scope="class")
+    def reports(self):
+        serial = XPlain(band_problem(), make_config()).run()
+        parallel = XPlain(
+            band_problem(), make_config(executor="process", workers=4)
+        ).run()
+        return serial, parallel
+
+    def test_regions_bit_identical(self, reports):
+        serial, parallel = reports
+        assert serial.num_subspaces >= 1
+        assert_reports_identical(serial, parallel)
+
+    def test_oracle_counters_match(self, reports):
+        serial, parallel = reports
+        sa = serial.generator_report.oracle_stats
+        sb = parallel.generator_report.oracle_stats
+        assert sa.points == sb.points
+        assert sa.cache_hits == sb.cache_hits
+        assert sa.native_batched == sb.native_batched
+        assert sa.warm_solves == sb.warm_solves
+        assert sa.cold_solves == sb.cold_solves
+
+
+class TestLpBackedDeterminism:
+    """First Fit runs the MetaOpt analyzer + native batched oracle."""
+
+    def test_workers_1_vs_4_bit_identical(self):
+        config = dict(
+            generator=GeneratorConfig(
+                max_subspaces=1,
+                tree_extra_samples=60,
+                significance_pairs=12,
+                seed=3,
+            ),
+            explainer_samples=20,
+            generalizer_samples=30,
+            unit_points=16,
+            seed=3,
+        )
+        serial = XPlain(
+            first_fit_problem(num_balls=4, num_bins=3),
+            XPlainConfig(**config),
+        ).run()
+        parallel = XPlain(
+            first_fit_problem(num_balls=4, num_bins=3),
+            XPlainConfig(executor="process", workers=4, **config),
+        ).run()
+        assert_reports_identical(serial, parallel)
+
+
+class TestWorkerCrash:
+    def test_pipeline_raises_clean_analyzer_error(self):
+        """A crashing oracle must fail the run, not hang the pool."""
+        problem = crashing_problem()
+        config = make_config(executor="process", workers=2)
+        with pytest.raises(AnalyzerError):
+            XPlain(problem, config).run()
+
+    def test_pipeline_serial_propagates_original_error(self):
+        # In-process execution keeps the original exception (and its
+        # traceback); only cross-process failures are wrapped.
+        problem = crashing_problem()
+        with pytest.raises(RuntimeError, match="synthetic oracle crash"):
+            XPlain(problem, make_config()).run()
+
+
+class TestExecutorUninstalledAfterRun:
+    def test_engine_restored(self):
+        problem = band_problem()
+        XPlain(problem, make_config(generalizer_samples=0)).run()
+        assert problem.oracle._executor is None

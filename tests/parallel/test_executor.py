@@ -1,0 +1,178 @@
+"""Tests for work units, sharding, seed derivation, and executors."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalyzerError
+from repro.parallel import (
+    EvalUnit,
+    ProblemSpec,
+    ProcessExecutor,
+    SerialExecutor,
+    derive_seed,
+    evaluate_unit,
+    make_executor,
+    plan_units,
+)
+from repro.parallel._testing import band_problem, crashing_problem, dying_problem
+
+
+class TestPlanUnits:
+    def test_covers_every_point_in_order(self):
+        plan = plan_units(10, 3)
+        assert plan == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_small_batch_is_one_unit(self):
+        assert plan_units(5, 64) == [(0, 5)]
+
+    def test_empty_batch(self):
+        assert plan_units(0, 64) == []
+
+    def test_plan_depends_only_on_n_and_unit_size(self):
+        # The whole determinism argument: no worker count anywhere.
+        assert plan_units(100, 16) == plan_units(100, 16)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            plan_units(-1, 8)
+        with pytest.raises(ValueError):
+            plan_units(8, 0)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(7, 1, 3) == derive_seed(7, 1, 3)
+
+    def test_distinct_coordinates_distinct_seeds(self):
+        seeds = {
+            derive_seed(base, stage, shard)
+            for base in (0, 1)
+            for stage in (1, 2, 3)
+            for shard in range(4)
+        }
+        assert len(seeds) == 24
+
+    def test_pinned_values(self):
+        # SeedSequence is stable by design; freeze two values so an
+        # accidental derivation change (which would silently break
+        # cross-version reproducibility of recorded seeds) fails loudly.
+        assert derive_seed(0, 1, 0) == 5836529245451711556
+        assert derive_seed(123, 2, 5) == 1670400809374086579
+
+
+class TestProblemSpec:
+    def test_build_roundtrip(self):
+        spec = ProblemSpec(
+            factory="repro.parallel._testing:band_problem",
+            kwargs={"dim": 3},
+        )
+        problem = spec.build()
+        assert problem.dim == 3
+        assert problem.spec is not None
+
+    def test_dict_roundtrip(self):
+        spec = ProblemSpec("repro.parallel._testing:band_problem", {"dim": 2})
+        assert ProblemSpec.from_dict(spec.to_dict()) == spec
+
+    def test_bad_factory_format(self):
+        with pytest.raises(AnalyzerError):
+            ProblemSpec("no_colon_here")
+
+    def test_missing_module(self):
+        with pytest.raises(AnalyzerError):
+            ProblemSpec("repro.does_not_exist:factory").build()
+
+    def test_missing_attribute(self):
+        with pytest.raises(AnalyzerError):
+            ProblemSpec("repro.parallel._testing:nope").build()
+
+
+class TestEvaluateUnit:
+    def test_native_path_matches_scalar_oracle(self):
+        problem = band_problem()
+        points = np.random.default_rng(0).uniform(size=(9, 2))
+        result = evaluate_unit(problem, points)
+        assert result["path"] == "native"
+        expected = [problem.evaluate(x).benchmark_value for x in points]
+        assert np.array_equal(result["benchmark"], np.array(expected))
+
+    def test_scalar_fallback_path(self):
+        problem = band_problem()
+        problem.evaluate_batch = None
+        points = np.random.default_rng(1).uniform(size=(4, 2))
+        result = evaluate_unit(problem, points)
+        assert result["path"] == "scalar"
+        assert len(result["benchmark"]) == 4
+
+
+class TestSerialExecutor:
+    def test_maps_units_in_order(self):
+        problem = band_problem()
+        rng = np.random.default_rng(2)
+        points = rng.uniform(size=(20, 2))
+        units = [EvalUnit(points[a:b]) for a, b in plan_units(20, 6)]
+        results = SerialExecutor(problem).map_units(units)
+        merged = np.concatenate([r["benchmark"] for r in results])
+        assert np.array_equal(merged, evaluate_unit(problem, points)["benchmark"])
+
+
+class TestProcessExecutor:
+    def test_matches_serial_bit_for_bit(self):
+        problem = band_problem()
+        rng = np.random.default_rng(3)
+        points = rng.uniform(size=(30, 2))
+        units = [EvalUnit(points[a:b]) for a, b in plan_units(30, 8)]
+        serial = SerialExecutor(problem).map_units(units)
+        executor = ProcessExecutor(2, spec=problem.spec)
+        try:
+            parallel = executor.map_units(units)
+        finally:
+            executor.close()
+        for s, p in zip(serial, parallel):
+            assert np.array_equal(s["benchmark"], p["benchmark"])
+            assert np.array_equal(s["heuristic"], p["heuristic"])
+            assert np.array_equal(s["feasible"], p["feasible"])
+
+    def test_worker_exception_raises_analyzer_error(self):
+        problem = crashing_problem()
+        executor = ProcessExecutor(2, spec=problem.spec)
+        units = [EvalUnit(np.zeros((2, 2))) for _ in range(3)]
+        with pytest.raises(AnalyzerError, match="work unit failed"):
+            executor.map_units(units)
+
+    def test_worker_death_raises_analyzer_error(self):
+        problem = dying_problem()
+        executor = ProcessExecutor(2, spec=problem.spec)
+        units = [EvalUnit(np.zeros((1, 1)))]
+        with pytest.raises(AnalyzerError):
+            executor.map_units(units)
+
+    def test_empty_unit_list(self):
+        executor = ProcessExecutor(2)
+        assert executor.map_units([]) == []
+        executor.close()
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(AnalyzerError):
+            ProcessExecutor(0)
+
+
+class TestMakeExecutor:
+    def test_serial(self):
+        executor = make_executor("serial", 1, band_problem())
+        assert isinstance(executor, SerialExecutor)
+
+    def test_process_requires_spec(self):
+        problem = band_problem()
+        problem.spec = None
+        with pytest.raises(AnalyzerError, match="no ProblemSpec"):
+            make_executor("process", 2, problem)
+
+    def test_process_with_spec(self):
+        executor = make_executor("process", 2, band_problem())
+        assert isinstance(executor, ProcessExecutor)
+        executor.close()
+
+    def test_unknown_executor(self):
+        with pytest.raises(AnalyzerError, match="unknown executor"):
+            make_executor("threads", 2, band_problem())

@@ -1,6 +1,5 @@
 """Edge-case tests for the model container, matrix export and solutions."""
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ModelError

@@ -1,7 +1,6 @@
 """Tests for the §5.2 revisit budget on insignificant areas."""
 
 import numpy as np
-import pytest
 
 from repro.analyzer import AnalyzedProblem, GapSample
 from repro.subspace import (
