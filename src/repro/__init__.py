@@ -27,7 +27,9 @@ Quickstart::
 
 from __future__ import annotations
 
-__version__ = "1.0.0"
+#: the single source of the package version: the CLI's ``--version``,
+#: the service's ``GET /version``, and packaging all read this value
+__version__ = "1.1.0"
 
 _LAZY_EXPORTS = {
     "XPlain": "repro.core.pipeline",
@@ -36,10 +38,14 @@ _LAZY_EXPORTS = {
     "CampaignSpec": "repro.parallel.campaign",
     "load_campaign_spec": "repro.parallel.campaign",
     "run_campaign": "repro.parallel.campaign",
+    "RunStore": "repro.store",
+    "AnalysisService": "repro.service",
 }
 
 __all__ = [
+    "AnalysisService",
     "CampaignSpec",
+    "RunStore",
     "XPlain",
     "XPlainConfig",
     "XPlainReport",

@@ -10,7 +10,11 @@ without writing Python:
 * ``encode``   — Theorem A.1 demo on a built-in knapsack;
 * ``type3``    — cross-instance generalization on line topologies;
 * ``campaign`` — fan a JSON/TOML spec of problems across a worker pool
-  and write per-problem JSON reports.
+  and write per-problem JSON reports (``--store`` makes it resumable);
+* ``serve``    — the long-running analysis service (JSON HTTP API over a
+  persistent run store; DESIGN.md §10);
+* ``runs``     — inspect and garbage-collect a run store
+  (``list`` / ``show`` / ``gc``).
 
 Every subcommand accepts ``--workers N``; on the pipeline subcommands
 (``dp``, ``vbp``, ``sched``) and ``campaign``, ``N > 1`` shards work
@@ -49,10 +53,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="XPlain reproduction (HotNets '24): analyze a heuristic, "
         "map its adversarial subspaces, and explain them.",
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -100,7 +111,67 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write per-problem JSON reports plus campaign.json here",
     )
+    campaign.add_argument(
+        "--store",
+        default=None,
+        help="persistent run store directory: completed units are "
+        "recorded there and an interrupted campaign resumes from it",
+    )
     _add_workers(campaign)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the analysis service (JSON HTTP API over a run store)",
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        help="persistent run store directory backing the service",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen port (default 8347; 0 picks an ephemeral port)",
+    )
+    serve.add_argument(
+        "--retention",
+        type=int,
+        default=0,
+        help="gc the store down to this many campaigns after each run "
+        "(0 keeps everything)",
+    )
+    _add_workers(serve)
+
+    runs = sub.add_parser(
+        "runs", help="inspect or garbage-collect a persistent run store"
+    )
+    store_arg = argparse.ArgumentParser(add_help=False)
+    store_arg.add_argument(
+        "--store", required=True, help="run store directory to operate on"
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser(
+        "list", parents=[store_arg], help="list stored campaigns and runs"
+    )
+    show = runs_sub.add_parser(
+        "show",
+        parents=[store_arg],
+        help="print one stored campaign or run report",
+    )
+    show.add_argument("id", help="a camp-… or run-… identifier")
+    gc = runs_sub.add_parser(
+        "gc",
+        parents=[store_arg],
+        help="drop all but the most recent campaigns (and orphan runs)",
+    )
+    gc.add_argument(
+        "--keep",
+        type=int,
+        required=True,
+        help="campaigns to retain (0 clears the store)",
+    )
 
     return parser
 
@@ -240,12 +311,73 @@ def cmd_campaign(args) -> int:
         run_campaign,
     )
 
+    store = None
+    if args.store:
+        from repro.store import RunStore
+
+        store = RunStore(args.store)
     spec = load_campaign_spec(args.spec)
-    report = run_campaign(spec, workers=args.workers, out_dir=args.out_dir)
+    report = run_campaign(
+        spec, workers=args.workers, out_dir=args.out_dir, store=store
+    )
     print(describe_report(report))
     if args.out_dir:
         print(f"reports written to {args.out_dir}/")
+    if args.store:
+        print(f"campaign {report['campaign_id']} recorded in {args.store}")
     return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import DEFAULT_PORT, serve
+
+    serve(
+        args.store,
+        host=args.host,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        workers=args.workers,
+        retention=args.retention,
+    )
+    return 0
+
+
+def cmd_runs(args) -> int:
+    import json as json_module
+
+    from repro.store import RunStore
+
+    store = RunStore(args.store)
+    if args.runs_command == "list":
+        campaigns = store.list_campaigns()
+        runs = store.list_runs()
+        print(f"store {store.db_path}: {len(campaigns)} campaigns, "
+              f"{len(runs)} runs")
+        for c in campaigns:
+            print(
+                f"  {c['campaign_id']}  {c['status']:<8} "
+                f"{c['num_runs']:>3} runs  {c['name']}"
+            )
+        for r in runs:
+            print(f"  {r['run_id']}  {r['status']}")
+        return 0
+    if args.runs_command == "show":
+        if args.id.startswith("camp-"):
+            data = store.campaign(args.id)
+        else:
+            data = store.run(args.id)
+        if data is None:
+            print(f"no campaign or run {args.id!r} in {args.store}")
+            return 1
+        print(json_module.dumps(data, indent=2, sort_keys=True))
+        return 0
+    if args.runs_command == "gc":
+        stats = store.gc(keep=args.keep)
+        print(
+            f"gc: deleted {stats['campaigns_deleted']} campaigns, "
+            f"{stats['runs_deleted']} runs (kept <= {args.keep})"
+        )
+        return 0
+    raise AssertionError(f"unhandled runs subcommand {args.runs_command!r}")
 
 
 COMMANDS = {
@@ -256,6 +388,8 @@ COMMANDS = {
     "encode": cmd_encode,
     "type3": cmd_type3,
     "campaign": cmd_campaign,
+    "serve": cmd_serve,
+    "runs": cmd_runs,
 }
 
 

@@ -50,6 +50,17 @@ class XPlainConfig:
     #: plan depends only on this, never on ``workers``, which is what
     #: keeps parallel output bit-identical to serial)
     unit_points: int = 64
+    #: persistent run-store directory (None disables persistence). When
+    #: set, the pipeline spills its gap-oracle memo cache into the store
+    #: so repeated analyses of the same problem skip re-solving points
+    #: they have already answered — across processes and campaigns.
+    store_path: str | None = None
+    #: completed campaigns to retain in the store on garbage collection
+    #: (0 = keep everything; ``repro runs gc`` and the analysis service
+    #: apply it)
+    store_retention: int = 0
+    #: LRU cap on the in-memory gap-cache entries per engine
+    cache_max_entries: int = 1_000_000
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -85,4 +96,24 @@ class XPlainConfig:
         if not isinstance(self.unit_points, int) or self.unit_points < 1:
             raise AnalyzerError(
                 f"unit_points must be an integer >= 1, got {self.unit_points!r}"
+            )
+        if self.store_path is not None and not isinstance(self.store_path, str):
+            raise AnalyzerError(
+                f"store_path must be a string path or None, "
+                f"got {self.store_path!r}"
+            )
+        if self.store_path is not None and not self.store_path.strip():
+            raise AnalyzerError("store_path must not be an empty string")
+        if not isinstance(self.store_retention, int) or self.store_retention < 0:
+            raise AnalyzerError(
+                f"store_retention must be an integer >= 0 "
+                f"(0 keeps everything), got {self.store_retention!r}"
+            )
+        if (
+            not isinstance(self.cache_max_entries, int)
+            or self.cache_max_entries < 1
+        ):
+            raise AnalyzerError(
+                f"cache_max_entries must be an integer >= 1, "
+                f"got {self.cache_max_entries!r}"
             )

@@ -98,8 +98,36 @@ class XPlain:
         config = self.config
         start = time.perf_counter()
         executor = self.make_executor()
-        self.problem.oracle.use_executor(executor, config.unit_points)
+        engine = self.problem.oracle
+        engine.use_executor(executor, config.unit_points)
+        spill = None
         try:
+            # Persistent memoization: with a store configured, the
+            # engine's cache spills through the store's gap_entries
+            # table, so points this problem has ever answered (any
+            # process, any campaign) are never re-solved. Entries are
+            # oracle values — attaching a spill cannot change any
+            # result. Problems without a picklable spec have no sound
+            # cross-run identity and run without persistence. Preload
+            # happens *before* the spill attaches, so cap-evicted
+            # entries are not pointlessly re-offered to disk. A spill
+            # the caller attached themselves always wins: the pipeline
+            # neither replaces nor detaches it.
+            engine.configure_cache(max_entries=config.cache_max_entries)
+            if (
+                config.store_path is not None
+                and engine.cache is not None
+                and engine.cache.spill is None
+            ):
+                from repro.store import GapSpill, problem_cache_key
+
+                cache_key = problem_cache_key(
+                    self.problem, engine.cache.resolution
+                )
+                if cache_key is not None:
+                    spill = GapSpill(config.store_path, cache_key)
+                    spill.preload(engine.cache)
+                    engine.configure_cache(spill=spill)
             # Type 1: adversarial subspaces (§5.2).
             generator = AdversarialSubspaceGenerator(
                 self.problem, self.make_analyzer(), config.generator
@@ -135,6 +163,9 @@ class XPlain:
         finally:
             self.problem.oracle.use_executor(None)
             executor.close()
+            if spill is not None:
+                engine.configure_cache(spill=None)
+                spill.close()
 
         return XPlainReport(
             problem=self.problem,

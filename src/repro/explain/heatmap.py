@@ -61,6 +61,30 @@ class EdgeScore:
             f"B-use {self.benchmark_use_rate:.0%}"
         )
 
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "edge": [str(self.edge[0]), str(self.edge[1])],
+            "mean_score": float(self.mean_score),
+            "heuristic_use_rate": float(self.heuristic_use_rate),
+            "benchmark_use_rate": float(self.benchmark_use_rate),
+            "mean_heuristic_flow": float(self.mean_heuristic_flow),
+            "mean_benchmark_flow": float(self.mean_benchmark_flow),
+            "samples": int(self.samples),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "EdgeScore":
+        return EdgeScore(
+            edge=(data["edge"][0], data["edge"][1]),
+            mean_score=float(data["mean_score"]),
+            heuristic_use_rate=float(data["heuristic_use_rate"]),
+            benchmark_use_rate=float(data["benchmark_use_rate"]),
+            mean_heuristic_flow=float(data["mean_heuristic_flow"]),
+            mean_benchmark_flow=float(data["mean_benchmark_flow"]),
+            samples=int(data["samples"]),
+        )
+
 
 @dataclass
 class Heatmap:

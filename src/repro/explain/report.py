@@ -23,6 +23,23 @@ class Divergence:
     dst_role: str
     sentence: str
 
+    def to_dict(self) -> dict:
+        return {
+            "edge_score": self.edge_score.to_dict(),
+            "src_role": self.src_role,
+            "dst_role": self.dst_role,
+            "sentence": self.sentence,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Divergence":
+        return Divergence(
+            edge_score=EdgeScore.from_dict(data["edge_score"]),
+            src_role=str(data["src_role"]),
+            dst_role=str(data["dst_role"]),
+            sentence=str(data["sentence"]),
+        )
+
 
 @dataclass
 class ExplanationReport:
@@ -50,6 +67,32 @@ class ExplanationReport:
                 "(the gap comes from flow volumes, not edge choices)"
             )
         return "\n".join(lines)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form; round-trips exactly through :meth:`from_dict`.
+
+        Campaign reports and the persistent run store keep explanation
+        reports in this form, so a stored run renders the same narrative
+        as the live pipeline did.
+        """
+        return {
+            "headline": self.headline,
+            "heuristic_side": [d.to_dict() for d in self.heuristic_side],
+            "benchmark_side": [d.to_dict() for d in self.benchmark_side],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ExplanationReport":
+        return ExplanationReport(
+            heuristic_side=[
+                Divergence.from_dict(d) for d in data.get("heuristic_side", [])
+            ],
+            benchmark_side=[
+                Divergence.from_dict(d) for d in data.get("benchmark_side", [])
+            ],
+            headline=str(data.get("headline", "")),
+        )
 
 
 def explain_heatmap(

@@ -14,9 +14,22 @@ indistinguishable from uncached ones — tests pin this down by comparing
 seeded generator output with the cache on and off. Coarser resolutions
 trade exactness for hit rate and can be selected per engine via
 ``AnalyzedProblem.configure_oracle(resolution=...)``.
+
+Growth is bounded by an LRU policy: the cache keeps at most
+``max_entries`` cells and evicts the least-recently-used one on insert,
+so a long-running analysis service cannot leak memory through its
+engines. An optional *spill* second level (see
+:class:`repro.store.gapstore.GapSpill`) receives every inserted entry and
+is consulted on in-memory misses, which is how oracle memoization
+survives across processes and campaigns. Cached entries are values of the
+oracle function itself, so neither eviction nor spilling can change any
+result — only how often points are recomputed.
 """
 
 from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Iterator, Protocol
 
 import numpy as np
 
@@ -26,6 +39,26 @@ from repro.subspace.region import Box
 #: that distinct sample points essentially never collide.
 DEFAULT_RESOLUTION = 1e-9
 
+#: Default in-memory entry cap (LRU beyond this).
+DEFAULT_MAX_ENTRIES = 1_000_000
+
+#: one cached oracle answer: (benchmark, heuristic, feasible)
+Entry = tuple[float, float, bool]
+
+
+class SpillStore(Protocol):
+    """Second-level store a :class:`GapCache` spills through.
+
+    ``get`` may return ``None``; ``put`` must be idempotent (the cache
+    write-throughs every insert *and* re-offers entries on eviction).
+    """
+
+    def get(self, key: tuple) -> Entry | None: ...
+
+    def put(
+        self, key: tuple, benchmark: float, heuristic: float, feasible: bool
+    ) -> None: ...
+
 
 class GapCache:
     """Maps quantized input vectors to (benchmark, heuristic, feasible)."""
@@ -34,17 +67,23 @@ class GapCache:
         self,
         input_box: Box,
         resolution: float = DEFAULT_RESOLUTION,
-        max_entries: int = 1_000_000,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        spill: SpillStore | None = None,
     ) -> None:
         if resolution <= 0:
             raise ValueError(f"resolution must be positive, got {resolution}")
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         widths = np.maximum(input_box.widths, 1e-12)
         self._quantum = widths * resolution
         self.resolution = resolution
         self.max_entries = max_entries
-        self._entries: dict[tuple, tuple[float, float, bool]] = {}
+        self.spill = spill
+        self._entries: OrderedDict[tuple, Entry] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.spill_hits = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -54,22 +93,60 @@ class GapCache:
         cell = np.round(np.asarray(x, dtype=float) / self._quantum)
         return tuple(int(v) for v in cell)
 
-    def get(self, key: tuple) -> tuple[float, float, bool] | None:
+    def get(self, key: tuple) -> Entry | None:
         entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-        else:
+        if entry is not None:
+            self._entries.move_to_end(key)
             self.hits += 1
-        return entry
+            return entry
+        if self.spill is not None:
+            entry = self.spill.get(key)
+            if entry is not None:
+                # Promote: a spilled answer is as good as a resident one.
+                self.hits += 1
+                self.spill_hits += 1
+                self._insert(key, entry)
+                return entry
+        self.misses += 1
+        return None
 
     def put(
         self, key: tuple, benchmark: float, heuristic: float, feasible: bool
     ) -> None:
-        if len(self._entries) >= self.max_entries:
-            # Simple wholesale reset: the generator's working set is tiny
-            # compared to the cap, so this fires only on pathological runs.
-            self._entries.clear()
-        self._entries[key] = (benchmark, heuristic, feasible)
+        entry = (benchmark, heuristic, feasible)
+        self._insert(key, entry)
+        if self.spill is not None:
+            self.spill.put(key, benchmark, heuristic, feasible)
+
+    def _insert(self, key: tuple, entry: Entry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.enforce_limit()
+
+    def enforce_limit(self) -> None:
+        """Evict LRU entries until at most ``max_entries`` remain."""
+        while len(self._entries) > self.max_entries:
+            old_key, old_entry = self._entries.popitem(last=False)
+            self.evictions += 1
+            if self.spill is not None:
+                self.spill.put(old_key, *old_entry)
 
     def clear(self) -> None:
         self._entries.clear()
+
+    # -- serialization ------------------------------------------------------
+    def entries(self) -> Iterator[tuple[tuple, Entry]]:
+        """All resident cells, least-recently-used first."""
+        return iter(self._entries.items())
+
+    def load_entries(self, items: Iterable[tuple[tuple, Entry]]) -> None:
+        """Bulk-insert previously dumped cells (no spill write-through).
+
+        Used by the store layer to warm a cache from disk; entries beyond
+        ``max_entries`` evict LRU as usual.
+        """
+        for key, entry in items:
+            self._insert(
+                tuple(key),
+                (float(entry[0]), float(entry[1]), bool(entry[2])),
+            )

@@ -27,6 +27,9 @@ from repro.analyzer.interface import AnalyzedProblem, GapSample, GapSamples
 from repro.oracle.cache import DEFAULT_RESOLUTION, GapCache
 from repro.oracle.stats import OracleStats
 
+#: distinguishes "spill not passed" from an explicit ``spill=None`` detach
+_UNSET = object()
+
 
 class OracleEngine:
     """Caching, batching front-end for one problem's gap oracle."""
@@ -36,11 +39,14 @@ class OracleEngine:
         problem: AnalyzedProblem,
         cache: bool | GapCache | None = True,
         resolution: float = DEFAULT_RESOLUTION,
+        max_entries: int | None = None,
+        spill=None,
     ) -> None:
         self.problem = problem
         if cache is True:
+            kwargs = {} if max_entries is None else {"max_entries": max_entries}
             self.cache: GapCache | None = GapCache(
-                problem.input_box, resolution=resolution
+                problem.input_box, resolution=resolution, spill=spill, **kwargs
             )
         elif cache is False or cache is None:
             self.cache = None
@@ -103,6 +109,30 @@ class OracleEngine:
 
         self.stats.eval_seconds += time.perf_counter() - start
         return GapSamples(xs, benchmark, heuristic, feasible)
+
+    # ------------------------------------------------------------------
+    def configure_cache(
+        self, max_entries: int | None = None, spill=_UNSET
+    ) -> None:
+        """Retune the live cache (LRU cap, spill store) without clearing it.
+
+        No-op when the cache is disabled. Cached values are oracle values,
+        so retuning mid-run cannot change any result — only recompute
+        rates. ``spill`` is only touched when passed explicitly — pass
+        ``spill=None`` to detach an attached store, omit it to leave the
+        current one (e.g. one given at construction) alone.
+        """
+        if self.cache is None:
+            return
+        if max_entries is not None:
+            if max_entries < 1:
+                raise RuntimeError(
+                    f"cache max_entries must be >= 1, got {max_entries}"
+                )
+            self.cache.max_entries = max_entries
+        if spill is not _UNSET:
+            self.cache.spill = spill
+        self.cache.enforce_limit()
 
     # ------------------------------------------------------------------
     def use_executor(self, executor, unit_points: int | None = None) -> None:

@@ -52,6 +52,23 @@ class OracleStats:
             **{f.name: getattr(self, f.name) for f in fields(self)}
         )
 
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """All counters as a JSON-safe dict (field order, plain scalars)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @staticmethod
+    def from_dict(data: dict) -> "OracleStats":
+        """Rebuild from :meth:`to_dict` output; unknown keys are ignored.
+
+        Tolerating extras lets stored counter blocks from other schema
+        revisions load instead of crashing the reader.
+        """
+        known = {f.name for f in fields(OracleStats)}
+        return OracleStats(
+            **{k: v for k, v in data.items() if k in known}
+        )
+
     def __sub__(self, other: "OracleStats") -> "OracleStats":
         """Delta between two snapshots (``after - before``)."""
         return OracleStats(

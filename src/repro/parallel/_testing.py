@@ -60,6 +60,42 @@ def band_problem(dim: int = 2, lo: float = 0.6, hi: float = 0.9) -> AnalyzedProb
     return problem
 
 
+def counted_band_problem(
+    counter_path: str, dim: int = 2, lo: float = 0.6, hi: float = 0.9
+) -> AnalyzedProblem:
+    """A band problem that logs one line to ``counter_path`` per build.
+
+    Resume tests count the lines to prove a stored unit was loaded
+    instead of re-executed (executing a unit must rebuild its problem).
+    """
+    with open(counter_path, "a") as fh:
+        fh.write("build\n")
+    problem = band_problem(dim=dim, lo=lo, hi=hi)
+    problem.spec = ProblemSpec(
+        factory="repro.parallel._testing:counted_band_problem",
+        kwargs={"counter_path": counter_path, "dim": dim, "lo": lo, "hi": hi},
+    )
+    return problem
+
+
+def flaky_problem(flag_path: str, dim: int = 2) -> AnalyzedProblem:
+    """A problem that fails to build until ``flag_path`` exists.
+
+    Simulates a campaign killed mid-run: the first attempt dies at this
+    job, a later resume (after the flag file is created) succeeds.
+    """
+    if not os.path.exists(flag_path):
+        raise RuntimeError(
+            "injected mid-campaign crash (create the flag file to heal)"
+        )
+    problem = band_problem(dim=dim)
+    problem.spec = ProblemSpec(
+        factory="repro.parallel._testing:flaky_problem",
+        kwargs={"flag_path": flag_path, "dim": dim},
+    )
+    return problem
+
+
 def crashing_problem(after: int = 0) -> AnalyzedProblem:
     """A problem whose oracle raises after ``after`` evaluations."""
     state = {"calls": 0}

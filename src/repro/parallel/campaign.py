@@ -75,6 +75,15 @@ class CampaignSpec:
     defaults: dict = field(default_factory=dict)
     jobs: list[CampaignJob] = field(default_factory=list)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form; round-trips through :meth:`from_dict`."""
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "defaults": dict(self.defaults),
+            "jobs": [job.to_dict() for job in self.jobs],
+        }
+
     @staticmethod
     def from_dict(data: dict) -> "CampaignSpec":
         jobs_data = data.get("jobs")
@@ -111,19 +120,37 @@ class CampaignSpec:
         )
 
 
+def _toml_module():
+    """Stdlib ``tomllib`` (3.11+) or the ``tomli`` backport (3.10)."""
+    try:
+        import tomllib
+
+        return tomllib
+    except ImportError:  # Python 3.10: stdlib tomllib arrived in 3.11
+        try:
+            import tomli
+
+            return tomli
+        except ImportError:
+            raise AnalyzerError(
+                "TOML campaign specs need Python >= 3.11 (tomllib) or the "
+                "'tomli' backport (pip install tomli); "
+                "use a JSON spec on this interpreter"
+            ) from None
+
+
 def load_campaign_spec(path: str | Path) -> CampaignSpec:
     """Read a campaign spec from a ``.json`` or ``.toml`` file."""
     path = Path(path)
     text = path.read_text()
     if path.suffix == ".toml":
+        toml = _toml_module()
         try:
-            import tomllib
-        except ImportError:  # Python 3.10: stdlib tomllib arrived in 3.11
+            data = toml.loads(text)
+        except toml.TOMLDecodeError as exc:
             raise AnalyzerError(
-                "TOML campaign specs need Python >= 3.11 (tomllib); "
-                "use a JSON spec on this interpreter"
-            ) from None
-        data = tomllib.loads(text)
+                f"campaign spec {path} is not valid TOML: {exc}"
+            ) from exc
     else:
         try:
             data = json.loads(text)
@@ -183,20 +210,24 @@ def execute_job(job_payload: dict) -> dict:
     # Jobs parallelize across the pool, not within it: no nested pools.
     config.executor = "serial"
     config.workers = 1
+    # Unit reports must be a pure function of the unit payload (that is
+    # what content-addressed run IDs and bit-identical resume rest on),
+    # but a spilled gap cache makes the report's hit/miss counters
+    # depend on what the store already holds — so persistence inside
+    # campaign units is off; the campaign-level store is the driver's.
+    config.store_path = None
     report = XPlain(problem, config).run()
 
     counters, stats_timing = _stats_dicts(report.generator_report.oracle_stats)
     subspaces = []
     for explained in report.explained:
-        region = explained.subspace.region
         subspaces.append(
             {
-                "box_lo": [float(v) for v in region.box.lo_array],
-                "box_hi": [float(v) for v in region.box.hi_array],
-                "halfspaces": [
-                    {"coeffs": [float(c) for c in h.coeffs], "rhs": float(h.rhs)}
-                    for h in region.halfspaces
-                ],
+                # Region and explanation are stored in their exact
+                # round-trip forms (Region.from_dict /
+                # ExplanationReport.from_dict rebuild the live objects).
+                "region": explained.subspace.region.to_dict(),
+                "explanation": explained.narrative.to_dict(),
                 "seed_gap": float(explained.subspace.seed.validated_gap),
                 "mean_gap_inside": float(explained.subspace.mean_gap_inside),
                 "significant": bool(explained.subspace.significant),
@@ -223,21 +254,13 @@ def execute_job(job_payload: dict) -> dict:
 
 
 # ----------------------------------------------------------------------
-def run_campaign(
-    spec: CampaignSpec,
-    workers: int = 1,
-    out_dir: str | Path | None = None,
-) -> dict:
-    """Fan the campaign's jobs across a pool and aggregate the reports.
+def plan_campaign(spec: CampaignSpec) -> list[dict]:
+    """Resolve the spec into its unit payloads (merged config, seeds).
 
-    Returns the campaign report dict; with ``out_dir`` set, also writes
-    one ``<job>.json`` per problem plus the aggregate ``campaign.json``.
+    Pure in the spec: the plan never depends on workers, stores, or any
+    other environment, which is what lets run IDs content-address it.
     """
-    if not isinstance(workers, int) or workers < 1:
-        raise AnalyzerError(
-            f"campaign workers must be an integer >= 1, got {workers!r}"
-        )
-    units = []
+    payloads = []
     for index, job in enumerate(spec.jobs):
         payload = job.to_dict()
         merged = dict(spec.defaults)
@@ -251,11 +274,78 @@ def run_campaign(
         payload["config"] = merged
         if payload["seed"] is None:
             payload["seed"] = derive_seed(spec.seed, STAGE_CAMPAIGN, index)
-        units.append(CampaignUnit(payload))
+        payloads.append(payload)
+    return payloads
 
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 1,
+    out_dir: str | Path | None = None,
+    store=None,
+) -> dict:
+    """Fan the campaign's jobs across a pool and aggregate the reports.
+
+    Returns the campaign report dict; with ``out_dir`` set, also writes
+    one ``<job>.json`` per problem plus the aggregate ``campaign.json``.
+
+    With a :class:`~repro.store.runstore.RunStore` passed as ``store``,
+    execution is persistent and resumable: units whose content-addressed
+    run ID already has a completed row are loaded from the store instead
+    of re-solved (their reports gain ``timing.resumed = True``), and
+    every freshly computed unit is persisted the moment it finishes — so
+    a campaign killed mid-run loses only its in-flight unit. Determinism
+    (derived per-unit seeds, placement-free units) makes a resumed
+    campaign's report bit-identical to an uninterrupted one outside the
+    ``"timing"`` blocks.
+    """
+    from repro.store.ids import campaign_id_for, run_id_for
+
+    if not isinstance(workers, int) or workers < 1:
+        raise AnalyzerError(
+            f"campaign workers must be an integer >= 1, got {workers!r}"
+        )
+    payloads = plan_campaign(spec)
+    run_ids = [run_id_for(payload) for payload in payloads]
+    campaign_id = campaign_id_for(spec.name, spec.seed, payloads)
+
+    results: list[dict | None] = [None] * len(payloads)
+    pending: list[int] = []
+    resumed = 0
+    if store is not None:
+        store.register_campaign(
+            campaign_id,
+            spec.name,
+            spec.seed,
+            spec.to_dict(),
+            [(run_id, job.name) for run_id, job in zip(run_ids, spec.jobs)],
+        )
+        store.set_campaign_status(campaign_id, "running")
+        for index, run_id in enumerate(run_ids):
+            report = store.completed_report(run_id)
+            if report is not None:
+                report["timing"]["resumed"] = True
+                results[index] = report
+                resumed += 1
+            else:
+                pending.append(index)
+    else:
+        pending = list(range(len(payloads)))
+
+    units = [CampaignUnit(payloads[index]) for index in pending]
     executor = ProcessExecutor(workers) if workers > 1 else SerialExecutor()
     try:
-        results = executor.map_units(units)
+        # Results stream back in unit order and are persisted one by
+        # one: a failure after k units leaves k completed runs behind.
+        for index, result in zip(pending, executor.iter_units(units)):
+            result["run_id"] = run_ids[index]
+            results[index] = result
+            if store is not None:
+                store.record_run(run_ids[index], payloads[index], result)
+    except Exception as exc:
+        if store is not None:
+            store.set_campaign_status(campaign_id, "failed", error=str(exc))
+        raise
     finally:
         executor.close()
 
@@ -268,6 +358,7 @@ def run_campaign(
     counters, stats_timing = _stats_dicts(totals)
     report = {
         "campaign": spec.name,
+        "campaign_id": campaign_id,
         "seed": spec.seed,
         "problems": results,
         "oracle_totals": counters,
@@ -277,12 +368,15 @@ def run_campaign(
         "num_subspaces_total": sum(r["num_subspaces"] for r in results),
         "timing": {
             "workers": workers,
+            "resumed_runs": resumed,
             "runtime_seconds": sum(
                 r["timing"]["runtime_seconds"] for r in results
             ),
             **stats_timing,
         },
     }
+    if store is not None:
+        store.set_campaign_status(campaign_id, "done", report=report)
 
     if out_dir is not None:
         out_dir = Path(out_dir)
@@ -315,17 +409,21 @@ def deterministic_view(report: dict) -> dict:
 
 def describe_report(report: dict) -> str:
     """A terminal summary of one campaign report."""
-    lines = [
+    header = (
         f"campaign {report['campaign']!r}: "
         f"{len(report['problems'])} problems, "
         f"{report['num_subspaces_total']} subspaces, "
-        f"worst gap {report['worst_gap']:.4g}",
-    ]
+        f"worst gap {report['worst_gap']:.4g}"
+    )
+    if report.get("campaign_id"):
+        header += f"  [{report['campaign_id']}]"
+    lines = [header]
     for result in report["problems"]:
+        resumed = " (resumed)" if result["timing"].get("resumed") else ""
         lines.append(
             f"  {result['name']:<20} gap {result['worst_gap']:>9.4g}  "
             f"subspaces {result['num_subspaces']}  "
-            f"({result['timing']['runtime_seconds']:.1f}s)"
+            f"({result['timing']['runtime_seconds']:.1f}s){resumed}"
         )
     totals = report["oracle_totals"]
     lines.append(

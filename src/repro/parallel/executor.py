@@ -20,7 +20,7 @@ from __future__ import annotations
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Protocol, Sequence
+from typing import Iterator, Protocol, Sequence
 
 from repro.exceptions import AnalyzerError
 from repro.parallel.spec import ProblemSpec
@@ -55,6 +55,16 @@ class Executor(Protocol):
         """Execute every unit, returning results in unit order."""
         ...
 
+    def iter_units(self, units: Sequence) -> Iterator:
+        """Yield unit results in unit order, as they complete.
+
+        The incremental face of :meth:`map_units`: a consumer can
+        persist each result before the next unit's outcome is known,
+        which is what makes campaign execution crash-safe — work done
+        before a failure has already been recorded.
+        """
+        ...
+
     def close(self) -> None: ...
 
 
@@ -67,7 +77,11 @@ class SerialExecutor:
         self.problem = problem
 
     def map_units(self, units: Sequence) -> list:
-        return [execute_unit(unit, self.problem) for unit in units]
+        return list(self.iter_units(units))
+
+    def iter_units(self, units: Sequence) -> Iterator:
+        for unit in units:
+            yield execute_unit(unit, self.problem)
 
     def close(self) -> None:  # symmetry with ProcessExecutor
         pass
@@ -108,32 +122,37 @@ class ProcessExecutor:
         return self._pool
 
     def map_units(self, units: Sequence) -> list:
+        return list(self.iter_units(units))
+
+    def iter_units(self, units: Sequence) -> Iterator:
         if not units:
-            return []
+            return
         pool = self._ensure_pool()
         futures = [pool.submit(_run_unit, unit) for unit in units]
-        results = []
         error: Exception | None = None
         for future in futures:
             if error is not None:
                 future.cancel()
                 continue
             try:
-                results.append(future.result())
+                result = future.result()
             except BrokenProcessPool as exc:
                 error = AnalyzerError(
                     f"worker process died executing a work unit: {exc}"
                 )
+                continue
             except AnalyzerError as exc:
                 error = exc
+                continue
             except Exception as exc:  # noqa: BLE001 - keep the pool clean
                 error = AnalyzerError(
                     f"work unit failed in worker: {type(exc).__name__}: {exc}"
                 )
+                continue
+            yield result
         if error is not None:
             self.close()
             raise error
-        return results
 
     def close(self) -> None:
         if self._pool is not None:

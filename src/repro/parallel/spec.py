@@ -69,6 +69,14 @@ class ProblemSpec:
             factory = data["factory"]
         except KeyError:
             raise AnalyzerError("problem spec needs a 'factory' key") from None
+        unknown = set(data) - {"factory", "kwargs"}
+        if unknown:
+            # A typoed key would otherwise be silently dropped and the
+            # problem rebuilt with defaults — surface it instead.
+            raise AnalyzerError(
+                f"unknown problem spec keys {sorted(unknown)}; "
+                "expected only 'factory' and 'kwargs'"
+            )
         kwargs = data.get("kwargs", {})
         if not isinstance(kwargs, dict):
             raise AnalyzerError("problem spec 'kwargs' must be a mapping")

@@ -1,0 +1,172 @@
+"""stdlib-``http.server`` JSON API over the analysis service.
+
+Endpoints (all JSON):
+
+* ``POST /campaigns``            — body is a campaign spec; returns
+  ``{"campaign_id", "status", "num_jobs"}`` (202 while queued/running,
+  200 when the content-addressed campaign already completed);
+  ``?workers=N`` overrides the service's executor width for this run;
+* ``GET  /campaigns``            — all stored campaigns;
+* ``GET  /campaigns/<id>``       — one campaign's status, per-unit run
+  states, and (once done) its aggregate report;
+* ``GET  /runs``                 — all stored runs;
+* ``GET  /runs/<id>/report``     — one completed unit's full report;
+* ``GET  /healthz``              — liveness (also checks the store);
+* ``GET  /version``              — ``repro.__version__``.
+
+The server is a ``ThreadingHTTPServer``: requests are served on their
+own threads and only ever touch the store through per-operation SQLite
+connections, so readers never block the worker thread executing
+campaigns.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+import repro
+from repro.exceptions import AnalyzerError
+from repro.service.service import AnalysisService
+
+#: default service port (a random-ish high port, not 8080, to keep out
+#: of the way of whatever else a dev box is running)
+DEFAULT_PORT = 8347
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the :class:`AnalysisService` it was bound to."""
+
+    service: AnalysisService  # set by make_server
+    server_version = f"xplain/{repro.__version__}"
+
+    # -- plumbing -----------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # quiet by default; the CLI prints its own lines
+
+    def _send(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._send(status, {"error": message})
+
+    # -- routes -------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                self.service.store.list_campaigns()  # store reachable?
+                self._send(
+                    200,
+                    {"status": "ok", "worker_alive": self.service.running},
+                )
+            elif parts == ["version"]:
+                self._send(200, {"version": repro.__version__})
+            elif parts == ["campaigns"]:
+                campaigns = self.service.store.list_campaigns()
+                self._send(200, {"campaigns": campaigns})
+            elif len(parts) == 2 and parts[0] == "campaigns":
+                campaign = self.service.campaign_status(parts[1])
+                if campaign is None:
+                    self._error(404, f"no campaign {parts[1]!r}")
+                else:
+                    self._send(200, campaign)
+            elif parts == ["runs"]:
+                self._send(200, {"runs": self.service.store.list_runs()})
+            elif len(parts) == 3 and parts[0] == "runs" and parts[2] == "report":
+                report = self.service.run_report(parts[1])
+                if report is None:
+                    self._error(404, f"no completed run {parts[1]!r}")
+                else:
+                    self._send(200, report)
+            else:
+                self._error(404, f"unknown path {self.path!r}")
+        except Exception as exc:  # noqa: BLE001 - one request, one error
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        url = urlparse(self.path)
+        parts = [p for p in url.path.split("/") if p]
+        if parts != ["campaigns"]:
+            self._error(404, f"unknown path {self.path!r}")
+            return
+        try:
+            try:
+                length = int(self.headers.get("Content-Length", 0))
+            except ValueError:
+                self._error(400, "Content-Length must be an integer")
+                return
+            raw = self.rfile.read(length)
+            try:
+                spec_data = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                self._error(400, f"request body is not valid JSON: {exc}")
+                return
+            if not isinstance(spec_data, dict):
+                self._error(400, "campaign spec must be a JSON object")
+                return
+            workers = None
+            query = parse_qs(url.query)
+            if "workers" in query:
+                try:
+                    workers = int(query["workers"][0])
+                except ValueError:
+                    self._error(400, "workers must be an integer")
+                    return
+                if workers < 1:
+                    self._error(400, "workers must be >= 1")
+                    return
+            try:
+                submitted = self.service.submit(spec_data, workers=workers)
+            except AnalyzerError as exc:
+                self._error(400, str(exc))
+                return
+            status = 200 if submitted["status"] == "done" else 202
+            self._send(status, submitted)
+        except Exception as exc:  # noqa: BLE001 - one request, one error
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+
+def make_server(
+    service: AnalysisService,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+) -> ThreadingHTTPServer:
+    """Bind a threading HTTP server to the service (``port=0`` = ephemeral)."""
+
+    class _BoundHandler(ServiceHandler):
+        pass
+
+    _BoundHandler.service = service
+    return ThreadingHTTPServer((host, port), _BoundHandler)
+
+
+def serve(
+    store_path: str,
+    host: str = "127.0.0.1",
+    port: int = DEFAULT_PORT,
+    workers: int = 1,
+    retention: int = 0,
+) -> None:
+    """Run the service until interrupted (the ``repro serve`` entry point)."""
+    service = AnalysisService(store_path, workers=workers, retention=retention)
+    service.start()
+    server = make_server(service, host=host, port=port)
+    actual_host, actual_port = server.server_address[:2]
+    print(
+        f"xplain analysis service v{repro.__version__} on "
+        f"http://{actual_host}:{actual_port} (store: {service.store.db_path})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.server_close()
+        service.stop()

@@ -1,0 +1,206 @@
+"""The long-running analysis service around the campaign runner.
+
+:class:`AnalysisService` is the X-SYS-style interactive layer: submitted
+campaign specs are validated, content-addressed, registered in the
+:class:`~repro.store.runstore.RunStore`, and queued onto a single worker
+thread that drives :func:`repro.parallel.campaign.run_campaign` — with
+the store attached, so every unit persists as it completes and a crashed
+or restarted service resumes campaigns instead of re-solving them.
+
+Submission is idempotent by construction: the campaign ID is a content
+address of the planned units, so re-submitting a spec whose campaign is
+``done`` returns the stored result immediately, and re-submitting a
+``failed`` or interrupted one re-queues it (completed units load from
+the store and are skipped).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import traceback
+from pathlib import Path
+
+from repro.exceptions import AnalyzerError
+from repro.parallel.campaign import (
+    CampaignSpec,
+    plan_campaign,
+    run_campaign,
+)
+from repro.store import RunStore, campaign_id_for, run_id_for
+
+
+class AnalysisService:
+    """Queue + store + worker thread behind the JSON API and the CLI."""
+
+    def __init__(
+        self,
+        store: RunStore | str | Path,
+        workers: int = 1,
+        retention: int = 0,
+    ) -> None:
+        if not isinstance(workers, int) or workers < 1:
+            raise AnalyzerError(
+                f"service workers must be an integer >= 1, got {workers!r}"
+            )
+        if not isinstance(retention, int) or retention < 0:
+            raise AnalyzerError(
+                f"service retention must be an integer >= 0, got {retention!r}"
+            )
+        self.store = store if isinstance(store, RunStore) else RunStore(store)
+        self.workers = workers
+        self.retention = retention
+        self._queue: queue.Queue = queue.Queue()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: campaign IDs queued or executing right now (submit dedupe)
+        self._active: set[str] = set()
+        self._lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "AnalysisService":
+        if self._thread is not None:
+            if self._thread.is_alive():
+                return self
+            # A stop() that timed out, whose worker has since exited.
+            self._thread = None
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._worker, name="xplain-service-worker", daemon=True
+        )
+        self._thread.start()
+        self._requeue_incomplete()
+        return self
+
+    def _requeue_incomplete(self) -> None:
+        """Re-enqueue campaigns a previous process left unfinished.
+
+        A service killed mid-campaign leaves ``pending``/``running``
+        rows behind; their specs are in the store, so a restart picks
+        them up instead of waiting for a client to re-submit.
+        Completed units load from the store as usual.
+        """
+        for row in self.store.list_campaigns():
+            if row["status"] in ("done", "failed"):
+                continue
+            with self._lock:
+                queued = row["campaign_id"] in self._active
+                if not queued:
+                    self._active.add(row["campaign_id"])
+            if not queued:
+                self._queue.put((row["campaign_id"], self.workers))
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Signal the worker and wait up to ``timeout`` for it to exit.
+
+        Returns False when the worker is still mid-campaign at the
+        deadline — the service then stays in the stopping state (a
+        later ``start()`` will not spawn a second worker over it); call
+        ``stop()`` again to finish the join.
+        """
+        if self._thread is None:
+            return True
+        self._stop.set()
+        self._queue.put(None)  # wake the worker
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            return False
+        self._thread = None
+        return True
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # -- submission ---------------------------------------------------------
+    def submit(self, spec_data: dict, workers: int | None = None) -> dict:
+        """Validate, register, and queue one campaign spec.
+
+        Returns ``{"campaign_id", "status", "num_jobs"}``. Raises
+        :class:`~repro.exceptions.AnalyzerError` on an invalid spec (the
+        HTTP layer maps that to 400).
+        """
+        spec = CampaignSpec.from_dict(spec_data)
+        payloads = plan_campaign(spec)
+        campaign_id = campaign_id_for(spec.name, spec.seed, payloads)
+        self.store.register_campaign(
+            campaign_id,
+            spec.name,
+            spec.seed,
+            spec.to_dict(),
+            [
+                (run_id_for(payload), job.name)
+                for payload, job in zip(payloads, spec.jobs)
+            ],
+        )
+        status = self.store.campaign(campaign_id)["status"]
+        if status != "done":
+            with self._lock:
+                queued = campaign_id in self._active
+                # A failed campaign is requeued even if its ID is still
+                # in _active (the worker that just failed it may not
+                # have released it yet); at worst the worker pops the
+                # duplicate later and _execute skips a done campaign.
+                requeue = not queued or status == "failed"
+                if requeue:
+                    self._active.add(campaign_id)
+            if requeue:
+                # A re-submitted failed campaign is pending again — a
+                # poller must not read the queued work as terminal.
+                if status == "failed":
+                    self.store.set_campaign_status(campaign_id, "pending")
+                    status = "pending"
+                self._queue.put((campaign_id, workers or self.workers))
+        return {
+            "campaign_id": campaign_id,
+            "status": status,
+            "num_jobs": len(payloads),
+        }
+
+    # -- queries ------------------------------------------------------------
+    def campaign_status(self, campaign_id: str) -> dict | None:
+        return self.store.campaign(campaign_id)
+
+    def run_report(self, run_id: str) -> dict | None:
+        return self.store.completed_report(run_id)
+
+    # -- the worker ---------------------------------------------------------
+    def _worker(self) -> None:
+        while not self._stop.is_set():
+            item = self._queue.get()
+            if item is None:
+                continue
+            campaign_id, workers = item
+            try:
+                self._execute(campaign_id, workers)
+            except Exception as exc:  # noqa: BLE001 - service must survive
+                # run_campaign already marked the campaign failed; any
+                # other error (store corruption, bad spec row) must not
+                # kill the worker thread.
+                try:
+                    self.store.set_campaign_status(
+                        campaign_id, "failed", error=str(exc)
+                    )
+                except Exception:  # noqa: BLE001
+                    traceback.print_exc()
+            finally:
+                with self._lock:
+                    self._active.discard(campaign_id)
+                self._queue.task_done()
+
+    def _execute(self, campaign_id: str, workers: int) -> None:
+        row = self.store.campaign(campaign_id)
+        if row is None:
+            raise AnalyzerError(f"queued campaign {campaign_id!r} not in store")
+        if row["status"] == "done":
+            return
+        spec = CampaignSpec.from_dict(row["spec"])
+        run_campaign(spec, workers=workers, store=self.store)
+        if self.retention > 0:
+            try:
+                self.store.gc(keep=self.retention)
+            except Exception:  # noqa: BLE001
+                # Retention is housekeeping: a gc hiccup (e.g. a lock
+                # timeout against a concurrent CLI) must not flip the
+                # just-completed campaign to failed.
+                traceback.print_exc()

@@ -1,0 +1,165 @@
+"""On-disk spill level for the gap-oracle memo cache.
+
+A :class:`GapSpill` is one problem's namespace in the store's
+``gap_entries`` table, shaped to plug straight into
+:class:`repro.oracle.cache.GapCache` as its ``spill`` store: ``get`` is
+consulted on in-memory misses, ``put`` receives every inserted entry
+(write-through, buffered). Because entries are values of the oracle
+function itself, sharing them across processes and campaigns can only
+save recomputation, never change a result.
+
+The namespace key hashes the problem's rebuild spec *and* the cache
+resolution — a coarser grid assigns different meanings to the same cell
+coordinates, so resolutions must not share entries.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+from repro.store.db import connect
+from repro.store.ids import canonical_json, content_digest
+
+#: buffered writes before an automatic flush
+DEFAULT_BUFFER_SIZE = 512
+
+
+def problem_cache_key(problem, resolution: float) -> str | None:
+    """The stable gap-entry namespace of one problem + cache resolution.
+
+    Returns ``None`` for problems without a picklable spec: a bare name
+    is not a sound identity (two different problems can share one), and
+    serving another problem's cached gap values would silently corrupt
+    results — the one thing a value cache must never do. Spec-less
+    problems simply run without persistence.
+    """
+    spec = getattr(problem, "spec", None)
+    if spec is None:
+        return None
+    return content_digest(
+        "gap", {"problem": spec.to_dict(), "resolution": resolution}
+    )
+
+
+class GapSpill:
+    """Buffered read/write access to one problem's spilled gap entries."""
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        problem_key: str,
+        buffer_size: int = DEFAULT_BUFFER_SIZE,
+    ) -> None:
+        self.store_path = Path(store_path)
+        self.problem_key = problem_key
+        self.buffer_size = buffer_size
+        self._buffer: dict[str, tuple[float, float, int]] = {}
+        self._conn: sqlite3.Connection | None = None
+        #: True once the namespace is known to have no rows on disk:
+        #: lets ``get`` skip the per-point SELECT on a fresh store,
+        #: where every lookup is a guaranteed miss. Concurrent writers
+        #: can only make this stale toward extra misses (recompute),
+        #: never wrong values.
+        self._known_empty: bool | None = None
+
+    def _connection(self) -> sqlite3.Connection:
+        if self._conn is None:
+            self._conn = connect(self.store_path)
+        return self._conn
+
+    @staticmethod
+    def _cell(key: tuple) -> str:
+        return canonical_json(list(key))
+
+    def _disk_empty(self) -> bool:
+        if self._known_empty is None:
+            row = self._connection().execute(
+                "SELECT 1 FROM gap_entries WHERE problem_key = ? LIMIT 1",
+                (self.problem_key,),
+            ).fetchone()
+            self._known_empty = row is None
+        return self._known_empty
+
+    # -- SpillStore protocol ------------------------------------------------
+    def get(self, key: tuple) -> tuple[float, float, bool] | None:
+        cell = self._cell(key)
+        buffered = self._buffer.get(cell)
+        if buffered is not None:
+            return (buffered[0], buffered[1], bool(buffered[2]))
+        if self._disk_empty():
+            return None
+        row = self._connection().execute(
+            "SELECT benchmark, heuristic, feasible FROM gap_entries "
+            "WHERE problem_key = ? AND cell = ?",
+            (self.problem_key, cell),
+        ).fetchone()
+        if row is None:
+            return None
+        return (row["benchmark"], row["heuristic"], bool(row["feasible"]))
+
+    def put(
+        self, key: tuple, benchmark: float, heuristic: float, feasible: bool
+    ) -> None:
+        self._buffer[self._cell(key)] = (
+            float(benchmark),
+            float(heuristic),
+            int(feasible),
+        )
+        if len(self._buffer) >= self.buffer_size:
+            self.flush()
+
+    def flush(self) -> None:
+        if not self._buffer:
+            return
+        conn = self._connection()
+        with conn:
+            conn.executemany(
+                "INSERT OR REPLACE INTO gap_entries "
+                "(problem_key, cell, benchmark, heuristic, feasible) "
+                "VALUES (?, ?, ?, ?, ?)",
+                [
+                    (self.problem_key, cell, b, h, f)
+                    for cell, (b, h, f) in self._buffer.items()
+                ],
+            )
+        self._buffer.clear()
+        self._known_empty = False
+
+    def preload(self, cache) -> int:
+        """Bulk-load this namespace into a :class:`GapCache`'s memory.
+
+        One SELECT instead of a per-point lookup for every previously
+        answered cell; returns the number of loaded entries. Entries
+        beyond the cache's LRU cap evict as usual.
+        """
+        self.flush()
+        rows = self._connection().execute(
+            "SELECT cell, benchmark, heuristic, feasible FROM gap_entries "
+            "WHERE problem_key = ?",
+            (self.problem_key,),
+        ).fetchall()
+        self._known_empty = len(rows) == 0
+        cache.load_entries(
+            (
+                tuple(json.loads(row["cell"])),
+                (row["benchmark"], row["heuristic"], bool(row["feasible"])),
+            )
+            for row in rows
+        )
+        return len(rows)
+
+    def close(self) -> None:
+        self.flush()
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __len__(self) -> int:
+        self.flush()
+        row = self._connection().execute(
+            "SELECT COUNT(*) AS n FROM gap_entries WHERE problem_key = ?",
+            (self.problem_key,),
+        ).fetchone()
+        return int(row["n"])

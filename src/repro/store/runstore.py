@@ -1,0 +1,327 @@
+"""The persistent, content-addressed run store.
+
+:class:`RunStore` persists campaign specs, per-unit reports (including
+merged :class:`~repro.oracle.stats.OracleStats` counters, generator
+regions, and explanation reports), and campaign aggregates in one SQLite
+database, keyed by the content-addressed IDs of :mod:`repro.store.ids`:
+
+* ``runs`` rows are immutable facts — "this unit payload produces this
+  report" — shared by every campaign that plans the same unit;
+* ``campaigns`` rows track one submitted spec's lifecycle
+  (``pending -> running -> done | failed``) plus its aggregate report;
+* ``campaign_runs`` maps a campaign's unit positions onto run IDs.
+
+A campaign interrupted at any point resumes by skipping the run IDs that
+already have ``done`` rows; PR 2's determinism guarantee (derived
+per-unit seeds, placement-free units) makes the resumed output
+bit-identical to an uninterrupted run.
+
+Every public method opens its own short-lived connection, so one
+:class:`RunStore` value can be shared freely across service threads and
+handed to campaign code in other processes.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.exceptions import AnalyzerError
+from repro.store.db import connect, store_db_path
+
+#: campaign lifecycle states
+CAMPAIGN_STATUSES = ("pending", "running", "done", "failed")
+
+
+def _maybe_json(text: str | None):
+    return json.loads(text) if text else None
+
+
+class RunStore:
+    """SQLite-backed storage for campaigns and their unit runs."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        # Eager open: create the schema (and surface unwritable paths /
+        # newer-schema databases) at construction, not mid-campaign.
+        connect(self.path).close()
+
+    @property
+    def db_path(self) -> Path:
+        return store_db_path(self.path)
+
+    @contextmanager
+    def _conn(self):
+        """One per-operation connection: commit on success, always close.
+
+        ``__init__`` already created and version-checked the schema, so
+        per-operation connections skip that work.
+        """
+        conn = connect(self.path, init=False)
+        try:
+            with conn:
+                yield conn
+        finally:
+            conn.close()
+
+    # -- campaigns ----------------------------------------------------------
+    def register_campaign(
+        self,
+        campaign_id: str,
+        name: str,
+        seed: int,
+        spec_data: dict,
+        planned: list[tuple[str, str]],
+    ) -> None:
+        """Insert a campaign and its (run_id, job_name) plan, idempotently.
+
+        Re-registering an existing campaign refreshes nothing but is
+        harmless — content addressing guarantees the plan is identical.
+        """
+        now = time.time()
+        with self._conn() as conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO campaigns "
+                "(campaign_id, name, seed, spec_json, status, "
+                " created_at, updated_at) VALUES (?, ?, ?, ?, 'pending', ?, ?)",
+                (campaign_id, name, seed, json.dumps(spec_data), now, now),
+            )
+            conn.executemany(
+                "INSERT OR REPLACE INTO campaign_runs "
+                "(campaign_id, position, run_id, job_name) VALUES (?, ?, ?, ?)",
+                [
+                    (campaign_id, position, run_id, job_name)
+                    for position, (run_id, job_name) in enumerate(planned)
+                ],
+            )
+
+    def set_campaign_status(
+        self,
+        campaign_id: str,
+        status: str,
+        error: str | None = None,
+        report: dict | None = None,
+    ) -> None:
+        if status not in CAMPAIGN_STATUSES:
+            raise AnalyzerError(
+                f"unknown campaign status {status!r}; "
+                f"expected one of {CAMPAIGN_STATUSES}"
+            )
+        with self._conn() as conn:
+            updated = conn.execute(
+                "UPDATE campaigns SET status = ?, error = ?, "
+                "report_json = COALESCE(?, report_json), updated_at = ? "
+                "WHERE campaign_id = ?",
+                (
+                    status,
+                    error,
+                    json.dumps(report) if report is not None else None,
+                    time.time(),
+                    campaign_id,
+                ),
+            ).rowcount
+        if updated == 0:
+            raise AnalyzerError(f"unknown campaign {campaign_id!r}")
+
+    def campaign(self, campaign_id: str) -> dict | None:
+        """One campaign's row plus its per-position run statuses."""
+        with self._conn() as conn:
+            row = conn.execute(
+                "SELECT * FROM campaigns WHERE campaign_id = ?",
+                (campaign_id,),
+            ).fetchone()
+            if row is None:
+                return None
+            runs = conn.execute(
+                "SELECT cr.position, cr.run_id, cr.job_name, "
+                "       COALESCE(r.status, 'pending') AS status "
+                "FROM campaign_runs cr LEFT JOIN runs r USING (run_id) "
+                "WHERE cr.campaign_id = ? ORDER BY cr.position",
+                (campaign_id,),
+            ).fetchall()
+        return {
+            "campaign_id": row["campaign_id"],
+            "name": row["name"],
+            "seed": row["seed"],
+            "status": row["status"],
+            "error": row["error"],
+            "spec": json.loads(row["spec_json"]),
+            "report": _maybe_json(row["report_json"]),
+            "created_at": row["created_at"],
+            "updated_at": row["updated_at"],
+            "runs": [
+                {
+                    "position": r["position"],
+                    "run_id": r["run_id"],
+                    "job_name": r["job_name"],
+                    "status": r["status"],
+                }
+                for r in runs
+            ],
+        }
+
+    def list_campaigns(self) -> list[dict]:
+        with self._conn() as conn:
+            rows = conn.execute(
+                "SELECT campaign_id, name, seed, status, created_at, "
+                "updated_at, (SELECT COUNT(*) FROM campaign_runs cr "
+                " WHERE cr.campaign_id = campaigns.campaign_id) AS num_runs "
+                "FROM campaigns ORDER BY created_at"
+            ).fetchall()
+        return [dict(r) for r in rows]
+
+    # -- runs ---------------------------------------------------------------
+    def record_run(
+        self,
+        run_id: str,
+        payload: dict,
+        report: dict | None,
+        status: str = "done",
+        error: str | None = None,
+    ) -> None:
+        """Persist one unit's outcome (timing split out of the report)."""
+        deterministic = None
+        timing = None
+        if report is not None:
+            deterministic = {k: v for k, v in report.items() if k != "timing"}
+            timing = report.get("timing", {})
+        now = time.time()
+        with self._conn() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO runs "
+                "(run_id, payload_json, status, report_json, timing_json, "
+                " error, created_at, updated_at) "
+                "VALUES (?, ?, ?, ?, ?, ?, "
+                " COALESCE((SELECT created_at FROM runs WHERE run_id = ?), ?),"
+                " ?)",
+                (
+                    run_id,
+                    json.dumps(payload),
+                    status,
+                    json.dumps(deterministic) if deterministic else None,
+                    json.dumps(timing) if timing is not None else None,
+                    error,
+                    run_id,
+                    now,
+                    now,
+                ),
+            )
+
+    def run(self, run_id: str) -> dict | None:
+        with self._conn() as conn:
+            row = conn.execute(
+                "SELECT * FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        return {
+            "run_id": row["run_id"],
+            "status": row["status"],
+            "error": row["error"],
+            "payload": json.loads(row["payload_json"]),
+            "report": _maybe_json(row["report_json"]),
+            "timing": _maybe_json(row["timing_json"]) or {},
+            "created_at": row["created_at"],
+            "updated_at": row["updated_at"],
+        }
+
+    def completed_report(self, run_id: str) -> dict | None:
+        """The full report of a ``done`` run (timing re-merged), else None."""
+        run = self.run(run_id)
+        if run is None or run["status"] != "done" or run["report"] is None:
+            return None
+        report = dict(run["report"])
+        report["timing"] = dict(run["timing"])
+        return report
+
+    def list_runs(self) -> list[dict]:
+        with self._conn() as conn:
+            rows = conn.execute(
+                "SELECT run_id, status, created_at, updated_at "
+                "FROM runs ORDER BY created_at"
+            ).fetchall()
+        return [dict(r) for r in rows]
+
+    # -- typed round-trips --------------------------------------------------
+    def run_stats(self, run_id: str):
+        """The stored run's oracle counters as an `OracleStats`."""
+        from repro.oracle.stats import OracleStats
+
+        report = self.completed_report(run_id)
+        if report is None:
+            raise AnalyzerError(f"no completed run {run_id!r} in store")
+        timing = report.get("timing", {})
+        return OracleStats.from_dict(
+            {
+                **report.get("oracle", {}),
+                **{
+                    k: timing[k]
+                    for k in ("lp_seconds", "eval_seconds")
+                    if k in timing
+                },
+            }
+        )
+
+    def run_regions(self, run_id: str) -> list:
+        """The stored run's generator regions as `Region` values."""
+        from repro.subspace.region import Region
+
+        report = self.completed_report(run_id)
+        if report is None:
+            raise AnalyzerError(f"no completed run {run_id!r} in store")
+        subspaces = report.get("subspaces", [])
+        return [Region.from_dict(s["region"]) for s in subspaces]
+
+    def run_explanations(self, run_id: str) -> list:
+        """The stored run's narratives as `ExplanationReport` values."""
+        from repro.explain.report import ExplanationReport
+
+        report = self.completed_report(run_id)
+        if report is None:
+            raise AnalyzerError(f"no completed run {run_id!r} in store")
+        return [
+            ExplanationReport.from_dict(s["explanation"])
+            for s in report.get("subspaces", [])
+            if s.get("explanation") is not None
+        ]
+
+    # -- retention ----------------------------------------------------------
+    def gc(self, keep: int) -> dict:
+        """Drop all but the ``keep`` most recently updated *finished*
+        campaigns.
+
+        Only terminal campaigns (``done``/``failed``) are eligible —
+        queued or running work is never collected out from under the
+        service. Runs still referenced by a surviving campaign are kept
+        (they are shared facts); everything orphaned is deleted.
+        ``keep=0`` clears every finished campaign. Returns deletion
+        counts.
+        """
+        if keep < 0:
+            raise AnalyzerError(f"gc keep must be >= 0, got {keep}")
+        with self._conn() as conn:
+            doomed = [
+                r["campaign_id"]
+                for r in conn.execute(
+                    "SELECT campaign_id FROM campaigns "
+                    "WHERE status IN ('done', 'failed') "
+                    "ORDER BY updated_at DESC LIMIT -1 OFFSET ?",
+                    (keep,),
+                ).fetchall()
+            ]
+            for campaign_id in doomed:
+                conn.execute(
+                    "DELETE FROM campaign_runs WHERE campaign_id = ?",
+                    (campaign_id,),
+                )
+                conn.execute(
+                    "DELETE FROM campaigns WHERE campaign_id = ?",
+                    (campaign_id,),
+                )
+            runs_deleted = conn.execute(
+                "DELETE FROM runs WHERE run_id NOT IN "
+                "(SELECT run_id FROM campaign_runs)"
+            ).rowcount
+        return {"campaigns_deleted": len(doomed), "runs_deleted": runs_deleted}

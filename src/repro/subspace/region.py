@@ -133,6 +133,21 @@ class Box:
         ]
         return " and ".join(parts)
 
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form; round-trips exactly through :meth:`from_dict`."""
+        return {
+            "lo": [float(v) for v in self.lo],
+            "hi": [float(v) for v in self.hi],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Box":
+        return Box(
+            tuple(float(v) for v in data["lo"]),
+            tuple(float(v) for v in data["hi"]),
+        )
+
 
 @dataclass(frozen=True)
 class Halfspace:
@@ -172,6 +187,19 @@ class Halfspace:
             if c != 0.0
         ]
         return f"{' '.join(terms)} <= {self.rhs:.4g}"
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "coeffs": [float(c) for c in self.coeffs],
+            "rhs": float(self.rhs),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Halfspace":
+        return Halfspace(
+            tuple(float(c) for c in data["coeffs"]), float(data["rhs"])
+        )
 
 
 @dataclass
@@ -236,3 +264,20 @@ class Region:
         for h in self.halfspaces:
             lines.append(f"and: {h.describe(names)}")
         return "\n".join(lines)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe Fig. 5c form, used by campaign reports and the store."""
+        return {
+            "box": self.box.to_dict(),
+            "halfspaces": [h.to_dict() for h in self.halfspaces],
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "Region":
+        return Region(
+            box=Box.from_dict(data["box"]),
+            halfspaces=[
+                Halfspace.from_dict(h) for h in data.get("halfspaces", [])
+            ],
+        )

@@ -43,6 +43,46 @@ class TestParser:
         assert args.spec == "my-spec.json"
         assert args.out_dir == "reports"
         assert args.workers == 1
+        assert args.store is None
+
+    def test_campaign_store_option(self):
+        args = build_parser().parse_args(
+            ["campaign", "my-spec.json", "--store", "run-store"]
+        )
+        assert args.store == "run-store"
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "s", "--port", "9001", "--workers", "2"]
+        )
+        assert args.store == "s"
+        assert args.port == 9001
+        assert args.workers == 2
+        assert args.retention == 0
+
+    def test_serve_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_runs_subcommands(self):
+        args = build_parser().parse_args(["runs", "list", "--store", "s"])
+        assert (args.runs_command, args.store) == ("list", "s")
+        args = build_parser().parse_args(
+            ["runs", "show", "run-abc", "--store", "s"]
+        )
+        assert (args.runs_command, args.id) == ("show", "run-abc")
+        args = build_parser().parse_args(
+            ["runs", "gc", "--store", "s", "--keep", "2"]
+        )
+        assert (args.runs_command, args.keep) == ("gc", 2)
 
 
 class TestCommands:
@@ -104,3 +144,53 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "campaign 'smoke'" in out
         assert (tmp_path / "out" / "campaign.json").exists()
+
+    def test_runs_list_and_gc_on_store(self, capsys, tmp_path):
+        import json
+
+        spec = {
+            "name": "cli-store",
+            "seed": 5,
+            "defaults": {
+                "explainer_samples": 15,
+                "generalizer_samples": 0,
+                "generator": {
+                    "max_subspaces": 1,
+                    "tree_extra_samples": 40,
+                    "significance_pairs": 12,
+                },
+            },
+            "jobs": [
+                {
+                    "name": "band",
+                    "problem": {
+                        "factory": "repro.parallel._testing:band_problem"
+                    },
+                }
+            ],
+        }
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(spec))
+        store = str(tmp_path / "store")
+        assert main(["campaign", str(spec_path), "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "recorded in" in out
+
+        assert main(["runs", "list", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "1 campaigns, 1 runs" in out
+        campaign_id = next(
+            line.split()[0]
+            for line in out.splitlines()
+            if line.strip().startswith("camp-")
+        )
+
+        assert main(["runs", "show", campaign_id, "--store", store]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["status"] == "done"
+
+        assert main(["runs", "show", "run-nope", "--store", store]) == 1
+        capsys.readouterr()
+
+        assert main(["runs", "gc", "--store", store, "--keep", "0"]) == 0
+        assert "deleted 1 campaigns" in capsys.readouterr().out

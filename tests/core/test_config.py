@@ -52,3 +52,39 @@ class TestConfigValidation:
     def test_error_message_lists_choices(self):
         with pytest.raises(AnalyzerError, match="metaopt"):
             XPlainConfig(analyzer="bogus")
+
+
+class TestStoreKnobs:
+    def test_defaults(self):
+        config = XPlainConfig()
+        assert config.store_path is None
+        assert config.store_retention == 0
+        assert config.cache_max_entries == 1_000_000
+
+    def test_store_path_must_be_string_or_none(self):
+        with pytest.raises(AnalyzerError, match="store_path"):
+            XPlainConfig(store_path=7)
+
+    def test_store_path_must_not_be_blank(self):
+        with pytest.raises(AnalyzerError, match="store_path"):
+            XPlainConfig(store_path="   ")
+
+    def test_store_retention_must_be_nonnegative_int(self):
+        with pytest.raises(AnalyzerError, match="store_retention"):
+            XPlainConfig(store_retention=-1)
+        with pytest.raises(AnalyzerError, match="store_retention"):
+            XPlainConfig(store_retention=2.5)
+
+    def test_cache_max_entries_must_be_positive_int(self):
+        with pytest.raises(AnalyzerError, match="cache_max_entries"):
+            XPlainConfig(cache_max_entries=0)
+        with pytest.raises(AnalyzerError, match="cache_max_entries"):
+            XPlainConfig(cache_max_entries="lots")
+
+    def test_valid_store_config_accepted(self):
+        config = XPlainConfig(
+            store_path="/tmp/store", store_retention=3, cache_max_entries=64
+        )
+        assert config.store_path == "/tmp/store"
+        assert config.store_retention == 3
+        assert config.cache_max_entries == 64

@@ -1,7 +1,6 @@
 """Tests for the campaign runner: spec parsing, reports, determinism."""
 
 import json
-import sys
 
 import pytest
 
@@ -12,6 +11,18 @@ from repro.parallel.campaign import (
     load_campaign_spec,
     run_campaign,
 )
+
+try:  # stdlib on 3.11+, tomli backport on 3.10 (requirements-dev.txt)
+    import tomllib  # noqa: F401
+
+    _HAS_TOML = True
+except ImportError:
+    try:
+        import tomli  # noqa: F401
+
+        _HAS_TOML = True
+    except ImportError:
+        _HAS_TOML = False
 
 SPEC_DATA = {
     "name": "test-campaign",
@@ -58,10 +69,10 @@ class TestSpecParsing:
         spec = load_campaign_spec(path)
         assert [job.name for job in spec.jobs] == ["band", "vbp-3x3"]
 
-    @pytest.mark.skipif(
-        sys.version_info < (3, 11), reason="tomllib is stdlib from 3.11"
-    )
+    @pytest.mark.skipif(not _HAS_TOML, reason="needs tomllib or tomli")
     def test_toml_file(self, tmp_path):
+        # On 3.10 this leg runs through the tomli fallback (CI installs
+        # it via requirements-dev.txt), keeping TOML at feature parity.
         path = tmp_path / "campaign.toml"
         path.write_text(
             "name = 'toml-campaign'\n"
@@ -75,11 +86,95 @@ class TestSpecParsing:
         assert spec.name == "toml-campaign"
         assert spec.jobs[0].problem.factory.endswith("band_problem")
 
+    def test_toml_fallback_prefers_backport_on_310(self, monkeypatch):
+        """Without stdlib tomllib, _toml_module must return tomli."""
+        import builtins
+
+        from repro.parallel.campaign import _toml_module
+
+        real_import = builtins.__import__
+        sentinel = object()
+
+        def fake_import(name, *args, **kwargs):
+            if name == "tomllib":
+                raise ImportError("no stdlib tomllib (simulated 3.10)")
+            if name == "tomli":
+                return sentinel
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", fake_import)
+        assert _toml_module() is sentinel
+
+    def test_toml_missing_everywhere_has_clear_error(self, monkeypatch):
+        import builtins
+
+        from repro.parallel.campaign import _toml_module
+
+        real_import = builtins.__import__
+
+        def fake_import(name, *args, **kwargs):
+            if name in ("tomllib", "tomli"):
+                raise ImportError(f"no {name} (simulated)")
+            return real_import(name, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "__import__", fake_import)
+        with pytest.raises(AnalyzerError, match="tomli"):
+            _toml_module()
+
+    @pytest.mark.skipif(not _HAS_TOML, reason="needs tomllib or tomli")
+    def test_bad_toml(self, tmp_path):
+        path = tmp_path / "broken.toml"
+        path.write_text("name = [unclosed\n")
+        with pytest.raises(AnalyzerError, match="not valid TOML"):
+            load_campaign_spec(path)
+
     def test_bad_json(self, tmp_path):
         path = tmp_path / "broken.json"
         path.write_text("{not json")
         with pytest.raises(AnalyzerError, match="not valid JSON"):
             load_campaign_spec(path)
+
+    def test_unknown_problem_key(self):
+        job = {
+            "name": "x",
+            "problem": {
+                "factory": "repro.parallel._testing:band_problem",
+                "kwrgs": {"dim": 2},  # typo must not be dropped silently
+            },
+        }
+        with pytest.raises(AnalyzerError, match="unknown problem spec keys"):
+            CampaignSpec.from_dict({"jobs": [job]})
+
+    @pytest.mark.parametrize(
+        "config, match",
+        [
+            ({"executor": "threads"}, "unknown executor"),
+            ({"workers": 0}, "workers"),
+            ({"workers": "many"}, "workers"),
+            ({"generator": {"max_subspace": 1}}, "max_subspace"),
+        ],
+    )
+    def test_bad_config_values_fail_at_run(self, config, match):
+        spec = CampaignSpec.from_dict(
+            {
+                "jobs": [
+                    {
+                        "name": "bad",
+                        "problem": {
+                            "factory": "repro.parallel._testing:band_problem"
+                        },
+                        "config": config,
+                    }
+                ]
+            }
+        )
+        with pytest.raises(AnalyzerError, match=match):
+            run_campaign(spec, workers=1)
+
+    def test_spec_round_trips_through_to_dict(self):
+        spec = CampaignSpec.from_dict(SPEC_DATA)
+        again = CampaignSpec.from_dict(spec.to_dict())
+        assert again == spec
 
     def test_no_jobs(self):
         with pytest.raises(AnalyzerError, match="no 'jobs'"):

@@ -1,0 +1,188 @@
+"""The resume acceptance test: kill a campaign mid-run, resume, compare.
+
+A store-backed campaign interrupted partway must (a) resume to a report
+byte-identical to an uninterrupted run (timing excluded) and (b) load
+its completed units from the store instead of re-solving them.
+"""
+
+import json
+
+import pytest
+
+from repro.parallel.campaign import (
+    CampaignSpec,
+    deterministic_view,
+    run_campaign,
+)
+from repro.store import RunStore
+
+_COUNTED_FACTORY = "repro.parallel._testing:counted_band_problem"
+
+TINY = {
+    "explainer_samples": 15,
+    "generalizer_samples": 0,
+    "generator": {
+        "max_subspaces": 1,
+        "tree_extra_samples": 40,
+        "significance_pairs": 12,
+    },
+}
+
+
+def _spec(counter_path, flag_path):
+    return CampaignSpec.from_dict(
+        {
+            "name": "resumable",
+            "seed": 13,
+            "defaults": dict(TINY),
+            "jobs": [
+                {
+                    "name": "first",
+                    "problem": {
+                        "factory": _COUNTED_FACTORY,
+                        "kwargs": {"counter_path": str(counter_path)},
+                    },
+                },
+                {
+                    "name": "crashy",
+                    "problem": {
+                        "factory": "repro.parallel._testing:flaky_problem",
+                        "kwargs": {"flag_path": str(flag_path)},
+                    },
+                },
+                {
+                    "name": "last",
+                    "problem": {
+                        "factory": "repro.parallel._testing:band_problem",
+                        "kwargs": {"dim": 2, "lo": 0.3, "hi": 0.5},
+                    },
+                },
+            ],
+        }
+    )
+
+
+def _builds(counter_path) -> int:
+    if not counter_path.exists():
+        return 0
+    return len(counter_path.read_text().splitlines())
+
+
+class TestResume:
+    @pytest.fixture()
+    def paths(self, tmp_path):
+        return {
+            "counter": tmp_path / "builds.log",
+            "flag": tmp_path / "healed.flag",
+            "store": tmp_path / "store",
+            "fresh_store": tmp_path / "fresh-store",
+        }
+
+    def test_interrupt_resume_bit_identical(self, paths):
+        spec = _spec(paths["counter"], paths["flag"])
+        store = RunStore(paths["store"])
+
+        # Kill mid-run: the second job's factory raises, so the campaign
+        # dies after exactly one completed (and persisted) unit.
+        with pytest.raises(RuntimeError, match="injected mid-campaign"):
+            run_campaign(spec, workers=1, store=store)
+        assert _builds(paths["counter"]) == 1
+        campaigns = store.list_campaigns()
+        assert len(campaigns) == 1
+        assert campaigns[0]["status"] == "failed"
+        done = [r for r in store.list_runs() if r["status"] == "done"]
+        assert len(done) == 1
+
+        # Heal and resume from the same store.
+        paths["flag"].touch()
+        resumed = run_campaign(spec, workers=1, store=store)
+        assert store.campaign(resumed["campaign_id"])["status"] == "done"
+
+        # (b) The completed unit was loaded, not re-solved: its factory
+        # never ran again, and the report says so.
+        assert _builds(paths["counter"]) == 1
+        assert resumed["timing"]["resumed_runs"] == 1
+        assert resumed["problems"][0]["timing"]["resumed"] is True
+        assert "resumed" not in resumed["problems"][1]["timing"]
+
+        # (a) Byte-identical to an uninterrupted run, timing excluded —
+        # per-problem and for the whole campaign report.
+        fresh_store = RunStore(paths["fresh_store"])
+        fresh = run_campaign(spec, workers=1, store=fresh_store)
+        assert _builds(paths["counter"]) == 2  # the fresh run rebuilt it
+        for resumed_problem, fresh_problem in zip(
+            resumed["problems"], fresh["problems"]
+        ):
+            assert json.dumps(
+                deterministic_view(resumed_problem), sort_keys=True
+            ) == json.dumps(deterministic_view(fresh_problem), sort_keys=True)
+        assert json.dumps(
+            deterministic_view(resumed), sort_keys=True
+        ) == json.dumps(deterministic_view(fresh), sort_keys=True)
+
+        # Oracle counters merged into the campaign totals come from the
+        # stored unit, so totals match the uninterrupted run exactly.
+        assert resumed["oracle_totals"] == fresh["oracle_totals"]
+
+    def test_rerunning_done_campaign_resumes_everything(self, paths):
+        spec = _spec(paths["counter"], paths["flag"])
+        paths["flag"].touch()
+        store = RunStore(paths["store"])
+        first = run_campaign(spec, workers=1, store=store)
+        builds = _builds(paths["counter"])
+        again = run_campaign(spec, workers=1, store=store)
+        assert again["timing"]["resumed_runs"] == len(spec.jobs)
+        assert _builds(paths["counter"]) == builds
+        assert deterministic_view(again) == deterministic_view(first)
+
+    def test_campaign_units_ignore_store_path(self, paths, tmp_path):
+        """store_path in a job config must not leak into unit reports.
+
+        A spilled gap cache would make the report's hit/miss counters
+        depend on what the store already holds, breaking the pure
+        payload -> report function that run IDs content-address.
+        """
+        from repro.parallel.campaign import execute_job
+
+        payload = {
+            "name": "band",
+            "problem": {
+                "factory": "repro.parallel._testing:band_problem",
+                "kwargs": {"dim": 2},
+            },
+            "config": dict(TINY, store_path=str(tmp_path / "unit-store")),
+            "seed": 13,
+        }
+        first = execute_job(dict(payload))
+        second = execute_job(dict(payload))
+        assert first["oracle"] == second["oracle"]
+        assert first["oracle"]["cache_misses"] > 0  # nothing spilled over
+        assert not (tmp_path / "unit-store").exists()
+
+    def test_shared_units_dedupe_across_campaigns(self, paths):
+        """A unit reused by a second campaign resolves from the store."""
+        store = RunStore(paths["store"])
+        base = {
+            "name": "a",
+            "seed": 13,
+            "defaults": dict(TINY),
+            "jobs": [
+                {
+                    "name": "shared",
+                    "problem": {
+                        "factory": _COUNTED_FACTORY,
+                        "kwargs": {"counter_path": str(paths["counter"])},
+                    },
+                    "seed": 99,
+                }
+            ],
+        }
+        run_campaign(CampaignSpec.from_dict(base), workers=1, store=store)
+        assert _builds(paths["counter"]) == 1
+        other = dict(base, name="b")  # same unit, different campaign
+        other_spec = CampaignSpec.from_dict(other)
+        report = run_campaign(other_spec, workers=1, store=store)
+        assert _builds(paths["counter"]) == 1
+        assert report["timing"]["resumed_runs"] == 1
+        assert len(store.list_campaigns()) == 2
+        assert len(store.list_runs()) == 1

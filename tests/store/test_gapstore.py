@@ -1,0 +1,143 @@
+"""GapSpill persistence + GapCache LRU/spill behavior."""
+
+import numpy as np
+import pytest
+
+from repro.oracle.cache import GapCache
+from repro.store import GapSpill, problem_cache_key
+from repro.subspace.region import Box
+
+
+BOX = Box((0.0, 0.0), (1.0, 1.0))
+
+
+class TestGapSpill:
+    def test_put_get_roundtrip(self, tmp_path):
+        spill = GapSpill(tmp_path, "gap-abc")
+        spill.put((1, 2), 3.5, 1.25, True)
+        assert spill.get((1, 2)) == (3.5, 1.25, True)  # buffered
+        spill.flush()
+        assert spill.get((1, 2)) == (3.5, 1.25, True)  # from disk
+        assert spill.get((9, 9)) is None
+        spill.close()
+
+    def test_survives_process_boundary(self, tmp_path):
+        first = GapSpill(tmp_path, "gap-abc")
+        first.put((1, 2), 3.5, 1.25, False)
+        first.close()  # flushes
+        second = GapSpill(tmp_path, "gap-abc")
+        assert second.get((1, 2)) == (3.5, 1.25, False)
+        assert len(second) == 1
+        second.close()
+
+    def test_namespaces_are_isolated(self, tmp_path):
+        a = GapSpill(tmp_path, "gap-a")
+        a.put((1,), 1.0, 0.0, True)
+        a.close()
+        b = GapSpill(tmp_path, "gap-b")
+        assert b.get((1,)) is None
+        b.close()
+
+    def test_auto_flush_at_buffer_size(self, tmp_path):
+        spill = GapSpill(tmp_path, "gap-abc", buffer_size=3)
+        for i in range(3):
+            spill.put((i,), float(i), 0.0, True)
+        assert spill._buffer == {}  # hit the cap, flushed itself
+        spill.close()
+
+
+class TestProblemCacheKey:
+    def test_spec_and_resolution_identify_namespace(self):
+        from repro.parallel._testing import band_problem
+
+        a = band_problem(dim=2)
+        b = band_problem(dim=2)
+        c = band_problem(dim=3)
+        assert problem_cache_key(a, 1e-9) == problem_cache_key(b, 1e-9)
+        assert problem_cache_key(a, 1e-9) != problem_cache_key(c, 1e-9)
+        assert problem_cache_key(a, 1e-9) != problem_cache_key(a, 1e-6)
+
+    def test_specless_problem_has_no_key(self):
+        from repro.parallel._testing import band_problem
+
+        problem = band_problem(dim=2)
+        problem.spec = None  # a bare name is not a sound identity
+        assert problem_cache_key(problem, 1e-9) is None
+
+
+class TestPreload:
+    def test_preload_bulk_loads_namespace(self, tmp_path):
+        writer = GapSpill(tmp_path, "gap-abc")
+        for i in range(5):
+            writer.put((i, i), float(i), 0.0, True)
+        writer.close()
+
+        cache = GapCache(BOX)
+        reader = GapSpill(tmp_path, "gap-abc")
+        assert reader.preload(cache) == 5
+        reader.close()
+        for i in range(5):
+            assert cache.get((i, i)) == (float(i), 0.0, True)
+        assert cache.misses == 0
+
+    def test_fresh_namespace_skips_disk_lookups(self, tmp_path):
+        spill = GapSpill(tmp_path, "gap-fresh")
+        assert spill.get((1, 2)) is None
+        assert spill._known_empty is True  # subsequent gets skip SELECTs
+        spill.put((1, 2), 1.0, 0.0, True)
+        spill.flush()
+        assert spill.get((3, 4)) is None  # consults disk again
+        assert spill.get((1, 2)) == (1.0, 0.0, True)
+        spill.close()
+
+
+class TestGapCacheLru:
+    def test_eviction_caps_size(self):
+        cache = GapCache(BOX, max_entries=3)
+        for i in range(5):
+            cache.put((i,), float(i), 0.0, True)
+        assert len(cache) == 3
+        assert cache.evictions == 2
+        assert cache.get((0,)) is None  # oldest two are gone
+        assert cache.get((1,)) is None
+        assert cache.get((4,)) == (4.0, 0.0, True)
+
+    def test_get_refreshes_recency(self):
+        cache = GapCache(BOX, max_entries=2)
+        cache.put((0,), 0.0, 0.0, True)
+        cache.put((1,), 1.0, 0.0, True)
+        assert cache.get((0,)) is not None  # (0,) is now most recent
+        cache.put((2,), 2.0, 0.0, True)  # evicts (1,)
+        assert cache.get((1,)) is None
+        assert cache.get((0,)) is not None
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError, match="max_entries"):
+            GapCache(BOX, max_entries=0)
+
+    def test_entries_dump_and_load(self):
+        cache = GapCache(BOX)
+        cache.put((1, 2), 3.0, 1.0, True)
+        cache.put((3, 4), 5.0, 2.0, False)
+        other = GapCache(BOX)
+        other.load_entries(cache.entries())
+        assert other.get((1, 2)) == (3.0, 1.0, True)
+        assert other.get((3, 4)) == (5.0, 2.0, False)
+
+    def test_spill_second_level(self, tmp_path):
+        spill = GapSpill(tmp_path, "gap-abc")
+        cache = GapCache(BOX, max_entries=2, spill=spill)
+        for i in range(4):
+            cache.put((i,), float(i), 0.0, True)
+        # (0,) and (1,) were evicted from memory but write-through kept
+        # them on disk; a get promotes them back.
+        assert cache.get((0,)) == (0.0, 0.0, True)
+        assert cache.spill_hits == 1
+        assert cache.hits == 1
+        spill.close()
+
+    def test_key_quantization_unchanged(self):
+        cache = GapCache(BOX)
+        x = np.array([0.5, 0.25])
+        assert cache.key(x) == cache.key(x + 1e-12)
+        assert cache.key(x) != cache.key(x + 1e-6)

@@ -1,0 +1,103 @@
+"""store_path wiring: pipeline runs share oracle work through the store."""
+
+from repro import XPlain, XPlainConfig
+from repro.parallel._testing import band_problem
+from repro.subspace.generator import GeneratorConfig
+
+
+def _config(store_path=None, **overrides):
+    return XPlainConfig(
+        generator=GeneratorConfig(
+            max_subspaces=1,
+            tree_extra_samples=40,
+            significance_pairs=12,
+            seed=5,
+        ),
+        explainer_samples=15,
+        generalizer_samples=0,
+        seed=5,
+        store_path=str(store_path) if store_path else None,
+        **overrides,
+    )
+
+
+class TestPersistentGapCache:
+    def test_specless_problem_gets_no_spill(self, tmp_path):
+        from repro.analyzer.interface import AnalyzedProblem, GapSample
+        from repro.subspace.region import Box
+        import numpy as np
+
+        # Two *different* spec-less problems sharing a name must never
+        # serve each other cached values — so neither gets a spill.
+        def evaluate(x):
+            x = np.asarray(x, dtype=float)
+            inside = 0.6 <= x[0] <= 0.9
+            return GapSample(
+                x=x,
+                benchmark_value=1.0 + x[1] / 10.0 if inside else 0.0,
+                heuristic_value=0.0,
+            )
+
+        problem = AnalyzedProblem(
+            name="anon",
+            input_names=["x0", "x1"],
+            input_box=Box((0.0, 0.0), (1.0, 1.0)),
+            evaluate=evaluate,
+            heuristic_flows=lambda x: {("in", "out"): 0.0},
+            benchmark_flows=lambda x: {
+                ("in", "out"): evaluate(x).benchmark_value
+            },
+        )
+        XPlain(problem, _config(tmp_path)).run()
+        assert problem.oracle.cache.spill is None
+
+    def test_spill_preserved_when_config_has_no_store(self, tmp_path):
+        from repro.store import GapSpill
+
+        problem = band_problem(dim=2)
+        spill = GapSpill(tmp_path, "gap-user-attached")
+        problem.configure_oracle(spill=spill)
+        XPlain(problem, _config(None)).run()
+        # configure_cache without an explicit spill must not detach the
+        # one the caller attached at construction.
+        assert problem.oracle.cache.spill is spill
+        spill.close()
+
+    def test_second_run_reuses_spilled_answers(self, tmp_path):
+        first_problem = band_problem(dim=2)
+        first = XPlain(first_problem, _config(tmp_path)).run()
+        first_stats = first_problem.oracle.stats
+        assert first_stats.cache_misses > 0
+
+        # A brand-new problem object (fresh engine, fresh in-memory
+        # cache — as in another process) answers everything from disk:
+        # the spill preloads into memory at attach, so not a single
+        # point is re-solved.
+        second_problem = band_problem(dim=2)
+        second = XPlain(second_problem, _config(tmp_path)).run()
+        second_stats = second_problem.oracle.stats
+        assert second_stats.cache_misses == 0
+        assert second_stats.cache_hits == second_stats.points
+        assert second.worst_gap == first.worst_gap
+        assert second.num_subspaces == first.num_subspaces
+
+    def test_store_does_not_change_results(self, tmp_path):
+        with_store = XPlain(band_problem(dim=2), _config(tmp_path)).run()
+        without = XPlain(band_problem(dim=2), _config(None)).run()
+        assert with_store.worst_gap == without.worst_gap
+        assert [s.subspace.region for s in with_store.explained] == [
+            s.subspace.region for s in without.explained
+        ]
+
+    def test_spill_detached_after_run(self, tmp_path):
+        problem = band_problem(dim=2)
+        XPlain(problem, _config(tmp_path)).run()
+        assert problem.oracle.cache.spill is None  # closed and detached
+
+    def test_cache_max_entries_reaches_engine(self, tmp_path):
+        problem = band_problem(dim=2)
+        XPlain(problem, _config(tmp_path, cache_max_entries=50)).run()
+        cache = problem.oracle.cache
+        assert cache.max_entries == 50
+        assert len(cache) <= 50
+        assert cache.evictions > 0
