@@ -3,9 +3,13 @@
 Commands mirror the examples so a user can reproduce the paper artifacts
 without writing Python:
 
-* ``dp``       — XPlain on Demand Pinning (Fig. 1a topology by default);
-* ``vbp``      — XPlain on First Fit;
-* ``sched``    — XPlain on list scheduling via the black-box analyzer;
+* ``analyze <domain>`` — XPlain end-to-end on any registered domain
+  (``repro analyze caching``, ``repro analyze te --fig4a``, ...), with
+  the domain's knobs exposed as options. The pre-registry commands
+  ``dp``, ``vbp``, and ``sched`` remain as top-level aliases;
+* ``domains``  — list the registered domain plugins (``--json`` for the
+  machine-readable form CI consumes, ``--campaign-spec <domain|all>``
+  for a ready-to-run smoke campaign spec);
 * ``fig1a``    — just the Fig. 1a worked-example table;
 * ``encode``   — Theorem A.1 demo on a built-in knapsack;
 * ``type3``    — cross-instance generalization on line topologies;
@@ -16,12 +20,17 @@ without writing Python:
 * ``runs``     — inspect and garbage-collect a run store
   (``list`` / ``show`` / ``gc``).
 
-Every subcommand accepts ``--workers N``; on the pipeline subcommands
-(``dp``, ``vbp``, ``sched``) and ``campaign``, ``N > 1`` shards work
-across ``N`` worker processes with output bit-identical to
-``--workers 1`` for a fixed seed (DESIGN.md §9). The table/demo
-subcommands (``fig1a``, ``encode``, ``type3``) run no shardable
-pipeline work and say so when asked for workers.
+Every subcommand accepts ``--workers N``; on ``analyze`` (and its
+aliases) and ``campaign``, ``N > 1`` shards work across ``N`` worker
+processes with output bit-identical to ``--workers 1`` for a fixed seed
+(DESIGN.md §9). The table/demo subcommands (``fig1a``, ``encode``,
+``type3``) run no shardable pipeline work and say so when asked for
+workers.
+
+The domain subcommands are generated from the plugin registry
+(:mod:`repro.domains.registry`, DESIGN.md §11): a new domain package
+with a ``plugin.py`` shows up here — and in campaign specs, the
+service, and CI — without touching this file.
 """
 
 from __future__ import annotations
@@ -52,6 +61,58 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     _add_workers(parser)
 
 
+#: knob type name -> argparse ``type=`` callable
+_KNOB_TYPES = {"int": int, "float": float, "str": str}
+
+
+def _add_domain_args(parser: argparse.ArgumentParser, plugin) -> None:
+    """Install one domain's knobs (and the analyze extras) on a parser.
+
+    Knob options default to ``argparse.SUPPRESS`` so an *explicitly*
+    typed value is distinguishable from an untouched default — that is
+    what lets ``--policy lru`` beat a ``--preset``/``--smoke`` override
+    even when it equals the knob's declared default.
+    """
+    for knob in plugin.knobs:
+        if knob.type == "flag":
+            parser.add_argument(
+                knob.cli_option,
+                action="store_true",
+                default=argparse.SUPPRESS,
+                help=knob.help,
+            )
+        else:
+            extra = {"choices": list(knob.choices)} if knob.choices else {}
+            parser.add_argument(
+                knob.cli_option,
+                type=_KNOB_TYPES[knob.type],
+                default=argparse.SUPPRESS,
+                help=f"{knob.help} (default {knob.default})",
+                **extra,
+            )
+    if plugin.presets:
+        parser.add_argument(
+            "--preset",
+            choices=sorted(plugin.presets),
+            default=None,
+            help="apply a named figure preset's knob overrides",
+        )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the domain's tiny smoke-sized problem with reduced "
+        "pipeline settings (what CI's domain-matrix runs)",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        metavar="PATH",
+        help="also write the full JSON report (campaign-unit schema) here",
+    )
+    _add_common(parser)
+    parser.set_defaults(domain=plugin.name)
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -67,24 +128,45 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    dp = sub.add_parser("dp", help="Demand Pinning on the Fig. 1a topology")
-    dp.add_argument("--threshold", type=float, default=50.0)
-    dp.add_argument("--d-max", type=float, default=100.0)
-    dp.add_argument(
-        "--fig4a", action="store_true",
-        help="use the eight demands of Fig. 4a instead of the three of Fig. 1a",
+    from repro.domains.registry import registry
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="run XPlain end-to-end on a registered domain",
+        description="Analyze one domain's heuristic: adversarial "
+        "subspaces, per-subspace explanations, generalization. Domains "
+        "and their knobs come from the plugin registry (`repro domains`).",
     )
-    _add_common(dp)
+    analyze_sub = analyze.add_subparsers(dest="domain", required=True)
+    for plugin in registry().plugins():
+        domain_parser = analyze_sub.add_parser(
+            plugin.name,
+            aliases=list(plugin.aliases),
+            help=plugin.title,
+        )
+        _add_domain_args(domain_parser, plugin)
+        for legacy in plugin.legacy_cli:
+            legacy_parser = sub.add_parser(
+                legacy, help=f"{plugin.title} (alias for 'analyze {plugin.name}')"
+            )
+            _add_domain_args(legacy_parser, plugin)
 
-    vbp = sub.add_parser("vbp", help="First Fit bin packing")
-    vbp.add_argument("--balls", type=int, default=4)
-    vbp.add_argument("--bins", type=int, default=3)
-    _add_common(vbp)
-
-    sched = sub.add_parser("sched", help="list scheduling (black-box path)")
-    sched.add_argument("--jobs", type=int, default=5)
-    sched.add_argument("--machines", type=int, default=2)
-    _add_common(sched)
+    domains = sub.add_parser(
+        "domains", help="list the registered domain plugins"
+    )
+    domains.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable plugin descriptors (what CI's "
+        "domain-matrix job enumerates)",
+    )
+    domains.add_argument(
+        "--campaign-spec",
+        default=None,
+        metavar="DOMAIN",
+        help="print a ready-to-run smoke campaign spec for DOMAIN "
+        "('all' = one job per registered domain)",
+    )
 
     fig1a = sub.add_parser("fig1a", help="print the Fig. 1a worked-example table")
     _add_workers(fig1a)
@@ -176,12 +258,22 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _pipeline_config(args):
+def _pipeline_config(args, overrides: dict | None = None):
+    """Build the run's :class:`XPlainConfig` (plus plugin overrides).
+
+    ``overrides`` (a plugin's ``config_defaults``) go through the
+    constructor so they get the same eager validation as any other
+    config — a typoed key or value fails loudly here, not deep in the
+    pipeline.
+    """
+    import dataclasses
+
     from repro.core.config import XPlainConfig
+    from repro.exceptions import AnalyzerError
     from repro.subspace.generator import GeneratorConfig
 
     workers = getattr(args, "workers", 1)
-    return XPlainConfig(
+    params = dict(
         generator=GeneratorConfig(max_subspaces=args.subspaces, seed=args.seed),
         explainer_samples=args.samples,
         generalizer_samples=args.samples,
@@ -189,39 +281,123 @@ def _pipeline_config(args):
         workers=workers,
         seed=args.seed,
     )
+    params.update(overrides or {})
+    known = {f.name for f in dataclasses.fields(XPlainConfig)}
+    unknown = set(params) - known
+    if unknown:
+        raise AnalyzerError(
+            f"unknown XPlainConfig overrides {sorted(unknown)} "
+            "(check the domain plugin's config_defaults)"
+        )
+    return XPlainConfig(**params)
 
 
-def cmd_dp(args) -> int:
+#: marks a knob the user did not type (its argparse default is SUPPRESS)
+_KNOB_UNSET = object()
+
+
+def _analyze_kwargs(args, plugin) -> dict:
+    """Resolve factory kwargs: defaults < smoke < preset < explicit CLI.
+
+    Knob options parse with ``argparse.SUPPRESS``, so any value the user
+    actually typed is present on ``args`` and always wins — including a
+    value that happens to equal the knob's declared default.
+    """
+    kwargs: dict = {}
+    if args.smoke:
+        kwargs.update(plugin.smoke_kwargs)
+    preset = getattr(args, "preset", None)
+    if preset is not None:
+        kwargs.update(plugin.presets[preset])
+    for knob in plugin.knobs:
+        value = getattr(args, knob.dest, _KNOB_UNSET)
+        if value is not _KNOB_UNSET:
+            kwargs[knob.name] = value
+        elif knob.name not in kwargs:
+            kwargs[knob.name] = knob.default
+    return kwargs
+
+
+def cmd_analyze(args) -> int:
+    import json as json_module
+    from pathlib import Path
+
     from repro.core.pipeline import XPlain
-    from repro.domains.te import fig1a_demand_pinning_problem
+    from repro.domains.registry import SMOKE_CAMPAIGN_DEFAULTS, registry
 
-    problem = fig1a_demand_pinning_problem(
-        threshold=args.threshold, d_max=args.d_max, fig4a=args.fig4a
-    )
-    report = XPlain(problem, _pipeline_config(args)).run()
-    print(report.summary())
-    return 0
-
-
-def cmd_vbp(args) -> int:
-    from repro.core.pipeline import XPlain
-    from repro.domains.binpack import first_fit_problem
-
-    problem = first_fit_problem(num_balls=args.balls, num_bins=args.bins)
-    report = XPlain(problem, _pipeline_config(args)).run()
-    print(report.summary())
-    return 0
-
-
-def cmd_sched(args) -> int:
-    from repro.core.pipeline import XPlain
-    from repro.domains.sched import list_scheduling_problem
-
-    problem = list_scheduling_problem(args.jobs, args.machines)
-    config = _pipeline_config(args)
-    config.analyzer = "blackbox"
+    plugin = registry().get(args.domain)
+    config = _pipeline_config(args, dict(plugin.config_defaults))
+    if args.smoke:
+        # The same knobs the generated smoke campaign specs use, so
+        # `analyze --smoke` and CI's one-unit campaigns stay in lockstep.
+        smoke = SMOKE_CAMPAIGN_DEFAULTS
+        config.explainer_samples = min(
+            config.explainer_samples, smoke["explainer_samples"]
+        )
+        config.generalizer_samples = min(
+            config.generalizer_samples, smoke["generalizer_samples"]
+        )
+        config.generator.tree_extra_samples = min(
+            config.generator.tree_extra_samples,
+            smoke["generator"]["tree_extra_samples"],
+        )
+        config.generator.significance_pairs = min(
+            config.generator.significance_pairs,
+            smoke["generator"]["significance_pairs"],
+        )
+    spec = plugin.problem_spec(**_analyze_kwargs(args, plugin))
+    problem = spec.build()
     report = XPlain(problem, config).run()
     print(report.summary())
+    if args.json_out:
+        from repro.parallel.campaign import unit_report
+
+        data = unit_report(
+            plugin.name, problem.spec or spec, config.seed, problem, report
+        )
+        Path(args.json_out).write_text(
+            json_module.dumps(data, indent=2, sort_keys=True)
+        )
+        print(f"json report written to {args.json_out}")
+    return 0
+
+
+def cmd_domains(args) -> int:
+    import json as json_module
+
+    from repro.domains.registry import registry, smoke_campaign_spec
+
+    reg = registry()
+    if args.campaign_spec:
+        names = None if args.campaign_spec == "all" else [args.campaign_spec]
+        print(
+            json_module.dumps(
+                smoke_campaign_spec(names), indent=2, sort_keys=True
+            )
+        )
+        return 0
+    if args.json:
+        print(
+            json_module.dumps(
+                [plugin.to_dict() for plugin in reg.plugins()],
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(f"{len(reg)} registered domains:")
+    for plugin in reg.plugins():
+        aliases = (
+            f"  (aliases: {', '.join(plugin.aliases)})"
+            if plugin.aliases
+            else ""
+        )
+        print(f"  {plugin.name:<10} {plugin.title}{aliases}")
+        print(
+            f"  {'':<10} factory {plugin.factory}; "
+            f"capabilities: {', '.join(plugin.capabilities) or '-'}"
+        )
+    print("run one with: repro analyze <domain> [--smoke]")
     return 0
 
 
@@ -381,9 +557,8 @@ def cmd_runs(args) -> int:
 
 
 COMMANDS = {
-    "dp": cmd_dp,
-    "vbp": cmd_vbp,
-    "sched": cmd_sched,
+    "analyze": cmd_analyze,
+    "domains": cmd_domains,
     "fig1a": cmd_fig1a,
     "encode": cmd_encode,
     "type3": cmd_type3,
@@ -395,7 +570,10 @@ COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return COMMANDS[args.command](args)
+    # Legacy per-domain commands (dp/vbp/sched) are analyze aliases: any
+    # parsed command outside COMMANDS carries a registry domain.
+    handler = COMMANDS.get(args.command, cmd_analyze)
+    return handler(args)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,7 +1,23 @@
-"""Domain packages: the paper's running examples plus one extension.
+"""Domain packages: the paper's running examples plus two extensions.
 
 * :mod:`repro.domains.te` — WAN traffic engineering with Demand Pinning;
 * :mod:`repro.domains.binpack` — vector bin packing with First Fit;
 * :mod:`repro.domains.sched` — makespan scheduling (the paper notes
-  Virelay-style scheduling heuristics are "conceptually similar to VBP").
+  Virelay-style scheduling heuristics are "conceptually similar to VBP");
+* :mod:`repro.domains.caching` — cache eviction, LRU/FIFO vs. Belady's
+  offline optimal (sequence-structured inputs).
+
+Each package registers itself with the plugin registry
+(:mod:`repro.domains.registry`) through a ``plugin.py`` descriptor; the
+CLI, campaign specs, and the analysis service resolve domains through the
+registry, so adding a domain is a one-package drop-in.
 """
+
+from repro.domains.registry import (
+    DomainKnob,
+    DomainPlugin,
+    DomainRegistry,
+    registry,
+)
+
+__all__ = ["DomainKnob", "DomainPlugin", "DomainRegistry", "registry"]

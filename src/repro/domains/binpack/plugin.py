@@ -1,0 +1,30 @@
+"""Registry descriptor for the vector bin packing (First Fit) domain."""
+
+from repro.domains.registry import DomainKnob, DomainPlugin
+
+PLUGIN = DomainPlugin(
+    name="binpack",
+    title="Vector bin packing: First Fit vs. optimal bin count",
+    factory="repro.domains.binpack:first_fit_problem",
+    aliases=("vbp", "first-fit"),
+    knobs=(
+        DomainKnob(
+            "num_balls",
+            "int",
+            4,
+            help="balls to pack (one input axis per ball size)",
+            cli="balls",
+        ),
+        DomainKnob(
+            "num_bins",
+            "int",
+            3,
+            help="bin limit of the analyzer encoding",
+            cli="bins",
+        ),
+    ),
+    smoke_kwargs={"num_balls": 4, "num_bins": 3},
+    presets={"fig5": {"num_balls": 4, "num_bins": 3}},
+    capabilities=("exact-encoding", "native-batch-oracle", "dsl-graph"),
+    legacy_cli=("vbp",),
+)

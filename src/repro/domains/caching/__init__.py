@@ -1,0 +1,50 @@
+"""Cache eviction: LRU/FIFO heuristics vs. Belady's offline optimal.
+
+The fourth domain — sequence-structured inputs (request traces) rather
+than vectors of demands/sizes/durations — registered as a plugin like
+every other domain package (see :mod:`repro.domains.registry`).
+"""
+
+from repro.domains.caching.batch_oracle import CachingBatchOracle
+from repro.domains.caching.dsl_model import (
+    build_cache_graph,
+    cache_flows_for_run,
+)
+from repro.domains.caching.heuristics import (
+    POLICIES,
+    fifo_hits_batch,
+    lru_hits_batch,
+    simulate_fifo,
+    simulate_lru,
+)
+from repro.domains.caching.instance import (
+    CacheInstance,
+    CacheRunResult,
+    quantize_trace,
+)
+from repro.domains.caching.optimal import (
+    belady_hits_batch,
+    next_use_batch,
+    optimal_misses,
+    simulate_belady,
+)
+from repro.domains.caching.problem import lru_caching_problem
+
+__all__ = [
+    "POLICIES",
+    "CacheInstance",
+    "CacheRunResult",
+    "CachingBatchOracle",
+    "belady_hits_batch",
+    "build_cache_graph",
+    "cache_flows_for_run",
+    "fifo_hits_batch",
+    "lru_caching_problem",
+    "lru_hits_batch",
+    "next_use_batch",
+    "optimal_misses",
+    "quantize_trace",
+    "simulate_belady",
+    "simulate_fifo",
+    "simulate_lru",
+]

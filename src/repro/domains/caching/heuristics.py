@@ -1,0 +1,94 @@
+"""Online eviction heuristics: LRU and FIFO, scalar and batched.
+
+The batched simulators advance *all traces in lockstep*, one time step per
+iteration, with every per-trace decision (hit test, victim selection,
+insertion) vectorized across the batch — so scoring ``n`` traces costs
+``O(T)`` numpy passes instead of ``n`` python loops. The scalar entry
+points wrap the batched code with a single-row batch, which is what makes
+the scalar and batched oracles bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domains.caching.instance import CacheInstance, CacheRunResult
+
+#: victim-age sentinel for items not in the cache: larger than any real
+#: timestamp, so argmin over ages never picks an absent item
+_NEVER = np.iinfo(np.int64).max
+
+
+def _stamped_hits_batch(
+    traces: np.ndarray, num_items: int, capacity: int, update_on_hit: bool
+) -> np.ndarray:
+    """Shared LRU/FIFO simulator: evict the minimum-stamp resident item.
+
+    LRU stamps an item on every access (``update_on_hit=True``); FIFO
+    stamps only on insertion. Ties cannot occur — stamps are distinct
+    time steps.
+    """
+    traces = np.atleast_2d(np.asarray(traces, dtype=int))
+    n, horizon = traces.shape
+    rows = np.arange(n)
+    stamp = np.full((n, num_items), _NEVER, dtype=np.int64)
+    in_cache = np.zeros((n, num_items), dtype=bool)
+    count = np.zeros(n, dtype=int)
+    hits = np.zeros((n, horizon), dtype=bool)
+    for t in range(horizon):
+        req = traces[:, t]
+        hit = in_cache[rows, req]
+        hits[:, t] = hit
+        evicting = ~hit & (count >= capacity)
+        if evicting.any():
+            ages = np.where(in_cache[evicting], stamp[evicting], _NEVER)
+            victims = ages.argmin(axis=1)
+            in_cache[np.flatnonzero(evicting), victims] = False
+            count[evicting] -= 1
+        miss = ~hit
+        in_cache[rows[miss], req[miss]] = True
+        count[miss] += 1
+        if update_on_hit:
+            stamp[rows, req] = t
+        else:
+            stamp[rows[miss], req[miss]] = t
+    return hits
+
+
+def lru_hits_batch(
+    traces: np.ndarray, num_items: int, capacity: int
+) -> np.ndarray:
+    """Per-request hit matrix ``(n, T)`` of LRU over a batch of traces."""
+    return _stamped_hits_batch(traces, num_items, capacity, update_on_hit=True)
+
+
+def fifo_hits_batch(
+    traces: np.ndarray, num_items: int, capacity: int
+) -> np.ndarray:
+    """Per-request hit matrix ``(n, T)`` of FIFO over a batch of traces."""
+    return _stamped_hits_batch(
+        traces, num_items, capacity, update_on_hit=False
+    )
+
+
+def simulate_lru(instance: CacheInstance) -> CacheRunResult:
+    """Least-recently-used eviction on one trace (cold start)."""
+    hits = lru_hits_batch(
+        instance.trace_array[None, :], instance.num_items, instance.capacity
+    )[0]
+    return CacheRunResult(hits=[bool(h) for h in hits], algorithm="lru")
+
+
+def simulate_fifo(instance: CacheInstance) -> CacheRunResult:
+    """First-in-first-out eviction on one trace (cold start)."""
+    hits = fifo_hits_batch(
+        instance.trace_array[None, :], instance.num_items, instance.capacity
+    )[0]
+    return CacheRunResult(hits=[bool(h) for h in hits], algorithm="fifo")
+
+
+#: policy name -> (scalar simulator, batched hit-matrix simulator)
+POLICIES = {
+    "lru": (simulate_lru, lru_hits_batch),
+    "fifo": (simulate_fifo, fifo_hits_batch),
+}

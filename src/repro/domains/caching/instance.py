@@ -1,0 +1,116 @@
+"""Cache-eviction instances: request traces over a fixed item universe.
+
+Unlike the demand/size/duration vectors of the other domains, a caching
+input is a *sequence*: ``trace[t]`` is the item requested at time ``t``.
+The XPlain input space stays a continuous box — one axis per request slot,
+each in ``[0, num_items]`` — and :func:`quantize_trace` floors a continuous
+vector onto item ids, so every pipeline stage (sampler sweeps, trees,
+heatmaps) keeps working on plain boxes while the oracles see discrete
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DslError
+
+
+def quantize_trace(xs: np.ndarray, num_items: int) -> np.ndarray:
+    """Floor continuous request coordinates onto item ids.
+
+    ``xs`` is ``(n, T)`` (or ``(T,)``); each entry maps to
+    ``min(floor(x), num_items - 1)`` so the box's closed upper edge
+    ``x = num_items`` still names the last item.
+    """
+    xs = np.asarray(xs, dtype=float)
+    return np.clip(np.floor(xs).astype(int), 0, num_items - 1)
+
+
+@dataclass(frozen=True)
+class CacheInstance:
+    """One request trace over ``num_items`` items and a cache of ``capacity``."""
+
+    trace: tuple[int, ...]
+    num_items: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.num_items < 1:
+            raise DslError("need at least one cacheable item")
+        if self.capacity < 1:
+            raise DslError("cache capacity must be at least 1")
+        if not self.trace:
+            raise DslError("need at least one request in the trace")
+        for item in self.trace:
+            if not 0 <= item < self.num_items:
+                raise DslError(
+                    f"request {item} outside the item universe "
+                    f"[0, {self.num_items})"
+                )
+
+    @staticmethod
+    def from_vector(
+        x: np.ndarray, num_items: int, capacity: int
+    ) -> "CacheInstance":
+        """Quantize one continuous input vector into a trace instance."""
+        items = quantize_trace(np.asarray(x, dtype=float).ravel(), num_items)
+        return CacheInstance(
+            trace=tuple(int(i) for i in items),
+            num_items=num_items,
+            capacity=capacity,
+        )
+
+    @property
+    def trace_len(self) -> int:
+        return len(self.trace)
+
+    @property
+    def trace_array(self) -> np.ndarray:
+        return np.array(self.trace, dtype=int)
+
+    def with_trace(self, trace) -> "CacheInstance":
+        return CacheInstance(
+            trace=tuple(int(i) for i in np.asarray(trace).ravel()),
+            num_items=self.num_items,
+            capacity=self.capacity,
+        )
+
+
+@dataclass
+class CacheRunResult:
+    """Outcome of one eviction policy on one trace."""
+
+    #: hits[t] is True when request t was served from the cache
+    hits: list[bool]
+    algorithm: str = ""
+
+    @property
+    def num_requests(self) -> int:
+        return len(self.hits)
+
+    @property
+    def num_hits(self) -> int:
+        return sum(1 for h in self.hits if h)
+
+    @property
+    def misses(self) -> int:
+        return self.num_requests - self.num_hits
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.num_requests
+
+    def validate(self, instance: CacheInstance) -> bool:
+        """Basic shape/coldness sanity: one verdict per request, and the
+        first touch of every item must be a miss (caches start cold)."""
+        if len(self.hits) != instance.trace_len:
+            return False
+        seen: set[int] = set()
+        for item, hit in zip(instance.trace, self.hits):
+            if hit and item not in seen:
+                return False
+            seen.add(item)
+        return True

@@ -1,0 +1,79 @@
+"""Belady's offline-optimal eviction (the caching benchmark).
+
+Belady's MIN algorithm evicts the resident item whose *next use* lies
+farthest in the future; with full knowledge of the trace it attains the
+minimum possible miss count, so ``policy_misses - belady_misses`` is a
+true optimality gap (always >= 0). The batched simulator precomputes a
+next-occurrence table with one backward sweep and then advances every
+trace in lockstep, exactly like the heuristic simulators.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.domains.caching.instance import CacheInstance, CacheRunResult
+
+
+def next_use_batch(traces: np.ndarray) -> np.ndarray:
+    """``next_use[i, t]``: first ``t' > t`` with the same item, else ``T``."""
+    traces = np.atleast_2d(np.asarray(traces, dtype=int))
+    n, horizon = traces.shape
+    rows = np.arange(n)
+    num_items = int(traces.max(initial=0)) + 1
+    upcoming = np.full((n, num_items), horizon, dtype=np.int64)
+    next_use = np.empty((n, horizon), dtype=np.int64)
+    for t in range(horizon - 1, -1, -1):
+        req = traces[:, t]
+        next_use[:, t] = upcoming[rows, req]
+        upcoming[rows, req] = t
+    return next_use
+
+
+def belady_hits_batch(
+    traces: np.ndarray, num_items: int, capacity: int
+) -> np.ndarray:
+    """Per-request hit matrix ``(n, T)`` of Belady's MIN over a batch.
+
+    Victim selection maximizes the next-use time of resident items (a
+    never-again item counts as ``T``); ties break toward the lowest item
+    id. Any tie-break preserves optimality, but a fixed one keeps the
+    oracle deterministic.
+    """
+    traces = np.atleast_2d(np.asarray(traces, dtype=int))
+    n, horizon = traces.shape
+    rows = np.arange(n)
+    next_use = next_use_batch(traces)
+    #: next use of each *resident* item (valid only where in_cache)
+    item_next = np.zeros((n, num_items), dtype=np.int64)
+    in_cache = np.zeros((n, num_items), dtype=bool)
+    count = np.zeros(n, dtype=int)
+    hits = np.zeros((n, horizon), dtype=bool)
+    for t in range(horizon):
+        req = traces[:, t]
+        hit = in_cache[rows, req]
+        hits[:, t] = hit
+        evicting = ~hit & (count >= capacity)
+        if evicting.any():
+            distances = np.where(in_cache[evicting], item_next[evicting], -1)
+            victims = distances.argmax(axis=1)
+            in_cache[np.flatnonzero(evicting), victims] = False
+            count[evicting] -= 1
+        miss = ~hit
+        in_cache[rows[miss], req[miss]] = True
+        count[miss] += 1
+        item_next[rows, req] = next_use[:, t]
+    return hits
+
+
+def simulate_belady(instance: CacheInstance) -> CacheRunResult:
+    """Belady's MIN on one trace (cold start)."""
+    hits = belady_hits_batch(
+        instance.trace_array[None, :], instance.num_items, instance.capacity
+    )[0]
+    return CacheRunResult(hits=[bool(h) for h in hits], algorithm="belady")
+
+
+def optimal_misses(instance: CacheInstance) -> int:
+    """The minimum achievable miss count on this trace."""
+    return simulate_belady(instance).misses

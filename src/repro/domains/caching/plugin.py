@@ -1,0 +1,43 @@
+"""Registry descriptor for the cache-eviction domain."""
+
+from repro.domains.registry import DomainKnob, DomainPlugin
+
+PLUGIN = DomainPlugin(
+    name="caching",
+    title="Cache eviction: LRU/FIFO vs. Belady's offline optimal",
+    factory="repro.domains.caching:lru_caching_problem",
+    aliases=("cache", "lru"),
+    knobs=(
+        DomainKnob(
+            "num_items",
+            "int",
+            4,
+            help="size of the cacheable item universe",
+            cli="items",
+        ),
+        DomainKnob(
+            "capacity",
+            "int",
+            2,
+            help="cache slots (must be < items)",
+        ),
+        DomainKnob(
+            "trace_len",
+            "int",
+            12,
+            help="requests per trace (one input axis per request slot)",
+            cli="trace-len",
+        ),
+        DomainKnob(
+            "policy",
+            "str",
+            "lru",
+            help="online eviction policy under scrutiny",
+            choices=("lru", "fifo"),
+        ),
+    ),
+    smoke_kwargs={"num_items": 3, "capacity": 2, "trace_len": 8},
+    presets={"fifo": {"policy": "fifo"}},
+    capabilities=("native-batch-oracle", "dsl-graph", "blackbox-analyzer"),
+    legacy_cli=(),
+)

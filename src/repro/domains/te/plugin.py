@@ -1,0 +1,40 @@
+"""Registry descriptor for the traffic-engineering (Demand Pinning) domain.
+
+Import-light by design: the factory is named by its dotted path and only
+resolved when a problem is actually built.
+"""
+
+from repro.domains.registry import DomainKnob, DomainPlugin
+
+PLUGIN = DomainPlugin(
+    name="te",
+    title="WAN traffic engineering: Demand Pinning vs. optimal max-flow",
+    factory="repro.domains.te:fig1a_demand_pinning_problem",
+    aliases=("dp", "demand-pinning"),
+    knobs=(
+        DomainKnob(
+            "threshold",
+            "float",
+            50.0,
+            help="pinning threshold T (demands <= T take their shortest path)",
+        ),
+        DomainKnob(
+            "d_max",
+            "float",
+            100.0,
+            help="upper bound of every demand's input range",
+            cli="d-max",
+        ),
+        DomainKnob(
+            "fig4a",
+            "flag",
+            False,
+            help="use the eight demands of Fig. 4a instead of the three "
+            "of Fig. 1a",
+        ),
+    ),
+    smoke_kwargs={"threshold": 50.0, "d_max": 100.0},
+    presets={"fig1a": {}, "fig4a": {"fig4a": True}},
+    capabilities=("exact-encoding", "native-batch-oracle", "dsl-graph"),
+    legacy_cli=("dp",),
+)

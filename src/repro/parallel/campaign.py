@@ -217,7 +217,16 @@ def execute_job(job_payload: dict) -> dict:
     # campaign units is off; the campaign-level store is the driver's.
     config.store_path = None
     report = XPlain(problem, config).run()
+    return unit_report(job_payload["name"], spec, seed, problem, report)
 
+
+def unit_report(name: str, spec: ProblemSpec, seed: int, problem, report) -> dict:
+    """Reduce one finished :class:`XPlainReport` to its JSON-safe form.
+
+    Shared by campaign units and ``repro analyze --json-out``, so both
+    emit the same schema (regions/explanations in round-trip form,
+    wall-clock under ``"timing"``).
+    """
     counters, stats_timing = _stats_dicts(report.generator_report.oracle_stats)
     subspaces = []
     for explained in report.explained:
@@ -235,7 +244,7 @@ def execute_job(job_payload: dict) -> dict:
             }
         )
     return {
-        "name": job_payload["name"],
+        "name": name,
         "problem": spec.to_dict(),
         "seed": seed,
         "input_names": list(problem.input_names),

@@ -46,13 +46,14 @@ class ProblemSpec:
         except ImportError as exc:
             raise AnalyzerError(
                 f"problem spec factory module {module_name!r} "
-                f"failed to import: {exc}"
+                f"failed to import: {exc}{_domain_hint(module_name)}"
             ) from exc
         try:
             factory = getattr(module, attr)
         except AttributeError:
             raise AnalyzerError(
-                f"module {module_name!r} has no factory {attr!r}"
+                f"module {module_name!r} has no factory "
+                f"{attr!r}{_domain_hint(module_name)}"
             ) from None
         problem = factory(**self.kwargs)
         if getattr(problem, "spec", None) is None:
@@ -61,23 +62,50 @@ class ProblemSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
+        """Canonical JSON form. Always factory-addressed: a spec parsed
+        from a ``{"domain": ...}`` block serializes to the factory it
+        resolved to, so content-addressed run IDs never depend on which
+        spelling the submitter used."""
         return {"factory": self.factory, "kwargs": dict(self.kwargs)}
 
     @staticmethod
     def from_dict(data: dict) -> "ProblemSpec":
-        try:
-            factory = data["factory"]
-        except KeyError:
-            raise AnalyzerError("problem spec needs a 'factory' key") from None
-        unknown = set(data) - {"factory", "kwargs"}
+        unknown = set(data) - {"factory", "kwargs", "domain"}
         if unknown:
             # A typoed key would otherwise be silently dropped and the
             # problem rebuilt with defaults — surface it instead.
             raise AnalyzerError(
                 f"unknown problem spec keys {sorted(unknown)}; "
-                "expected only 'factory' and 'kwargs'"
+                "expected 'factory' or 'domain', plus optional 'kwargs'"
             )
         kwargs = data.get("kwargs", {})
         if not isinstance(kwargs, dict):
             raise AnalyzerError("problem spec 'kwargs' must be a mapping")
+        domain = data.get("domain")
+        factory = data.get("factory")
+        if domain is not None and factory is not None:
+            raise AnalyzerError(
+                "problem spec has both 'domain' and 'factory'; give one "
+                "(a domain resolves to its registered factory)"
+            )
+        if domain is not None:
+            from repro.domains.registry import registry
+
+            # Unknown domains fail here with the registered list — not
+            # later as a bare factory-import error inside a worker.
+            factory = registry().get(str(domain)).factory
+        if factory is None:
+            raise AnalyzerError("problem spec needs a 'factory' or 'domain' key")
         return ProblemSpec(factory=factory, kwargs=kwargs)
+
+
+def _domain_hint(module_name: str) -> str:
+    """Suffix pointing lost users at the registry for domain modules."""
+    if not module_name.startswith("repro.domains"):
+        return ""
+    from repro.domains.registry import registry
+
+    return (
+        "; registered domains: "
+        f"{', '.join(registry().names())} (see `repro domains`)"
+    )

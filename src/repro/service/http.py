@@ -11,6 +11,8 @@ Endpoints (all JSON):
   states, and (once done) its aggregate report;
 * ``GET  /runs``                 — all stored runs;
 * ``GET  /runs/<id>/report``     — one completed unit's full report;
+* ``GET  /domains``              — the registered domain plugins (what a
+  submitted spec's ``{"domain": ...}`` problem blocks may name);
 * ``GET  /healthz``              — liveness (also checks the store);
 * ``GET  /version``              — ``repro.__version__``.
 
@@ -68,6 +70,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 )
             elif parts == ["version"]:
                 self._send(200, {"version": repro.__version__})
+            elif parts == ["domains"]:
+                from repro.domains.registry import registry
+
+                plugins = registry().plugins()
+                payload = {"domains": [p.to_dict() for p in plugins]}
+                self._send(200, payload)
             elif parts == ["campaigns"]:
                 campaigns = self.service.store.list_campaigns()
                 self._send(200, {"campaigns": campaigns})

@@ -11,10 +11,26 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_dp_defaults(self):
+        from repro.cli import _analyze_kwargs
+        from repro.domains.registry import registry
+
         args = build_parser().parse_args(["dp"])
-        assert args.threshold == 50.0
-        assert args.d_max == 100.0
-        assert not args.fig4a
+        kwargs = _analyze_kwargs(args, registry().get("te"))
+        assert kwargs["threshold"] == 50.0
+        assert kwargs["d_max"] == 100.0
+        assert not kwargs["fig4a"]
+
+    def test_explicit_default_valued_knob_beats_preset(self):
+        from repro.cli import _analyze_kwargs
+        from repro.domains.registry import registry
+
+        # --policy lru equals the knob default but was explicitly typed,
+        # so it must override the fifo preset.
+        args = build_parser().parse_args(
+            ["analyze", "caching", "--preset", "fifo", "--policy", "lru"]
+        )
+        kwargs = _analyze_kwargs(args, registry().get("caching"))
+        assert kwargs["policy"] == "lru"
 
     def test_vbp_options(self):
         args = build_parser().parse_args(
@@ -32,9 +48,18 @@ class TestParser:
         for argv in (
             ["dp"], ["vbp"], ["sched"], ["fig1a"], ["encode"],
             ["type3"], ["campaign", "spec.json"],
+            ["analyze", "caching"], ["analyze", "te"],
         ):
             args = build_parser().parse_args(argv + ["--workers", "3"])
             assert args.workers == 3
+
+    def test_analyze_requires_a_domain(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze"])
+
+    def test_analyze_rejects_unknown_domain(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["analyze", "frobnicate"])
 
     def test_campaign_options(self):
         args = build_parser().parse_args(

@@ -5,6 +5,7 @@ import pytest
 
 from repro import XPlain, XPlainConfig
 from repro.domains.binpack import first_fit_problem
+from repro.domains.registry import registry
 from repro.exceptions import AnalyzerError
 from repro.parallel._testing import band_problem, crashing_problem
 from repro.subspace import GeneratorConfig
@@ -102,6 +103,39 @@ class TestLpBackedDeterminism:
         ).run()
         parallel = XPlain(
             first_fit_problem(num_balls=4, num_bins=3),
+            XPlainConfig(executor="process", workers=4, **config),
+        ).run()
+        assert_reports_identical(serial, parallel)
+
+
+class TestRegistryDomainsDeterminism:
+    """workers=1 vs workers=4 bit-identity for every registered domain.
+
+    The registry round-trip acceptance test: each domain's smoke problem
+    runs the full pipeline serially and across a 4-process pool, and the
+    deterministic report fields must match exactly.
+    """
+
+    @pytest.mark.parametrize("domain", [p.name for p in registry()])
+    def test_workers_1_vs_4_bit_identical(self, domain):
+        plugin = registry().get(domain)
+        config = dict(
+            generator=GeneratorConfig(
+                max_subspaces=1,
+                tree_extra_samples=60,
+                significance_pairs=12,
+                seed=7,
+            ),
+            explainer_samples=15,
+            generalizer_samples=0,
+            blackbox_budget=120,
+            unit_points=16,
+            seed=7,
+        )
+        config.update(plugin.config_defaults)
+        serial = XPlain(plugin.smoke_spec().build(), XPlainConfig(**config)).run()
+        parallel = XPlain(
+            plugin.smoke_spec().build(),
             XPlainConfig(executor="process", workers=4, **config),
         ).run()
         assert_reports_identical(serial, parallel)

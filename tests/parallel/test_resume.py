@@ -9,6 +9,7 @@ import json
 
 import pytest
 
+from repro.domains.registry import registry
 from repro.parallel.campaign import (
     CampaignSpec,
     deterministic_view,
@@ -158,6 +159,59 @@ class TestResume:
         assert first["oracle"] == second["oracle"]
         assert first["oracle"]["cache_misses"] > 0  # nothing spilled over
         assert not (tmp_path / "unit-store").exists()
+
+    @pytest.mark.parametrize("domain", [p.name for p in registry()])
+    def test_every_registered_domain_kills_and_resumes(self, domain, tmp_path):
+        """Registry round trip: each domain's smoke unit survives a
+        mid-campaign crash and resumes bit-identically.
+
+        The spec puts the real domain unit first and a crashing job
+        second, so the first run persists the domain unit then dies; the
+        resumed run must load it from the store and match a fresh
+        uninterrupted campaign outside the timing blocks.
+        """
+        plugin = registry().get(domain)
+        flag = tmp_path / "healed.flag"
+        spec = CampaignSpec.from_dict(
+            {
+                "name": f"{domain}-resume",
+                "seed": 11,
+                "defaults": dict(TINY, blackbox_budget=120),
+                "jobs": [
+                    {
+                        "name": f"{domain}-unit",
+                        "problem": {
+                            "domain": domain,
+                            "kwargs": dict(plugin.smoke_kwargs),
+                        },
+                        "config": dict(plugin.config_defaults),
+                    },
+                    {
+                        "name": "crashy",
+                        "problem": {
+                            "factory": "repro.parallel._testing:flaky_problem",
+                            "kwargs": {"flag_path": str(flag)},
+                        },
+                    },
+                ],
+            }
+        )
+        store = RunStore(tmp_path / "store")
+        with pytest.raises(RuntimeError, match="injected mid-campaign"):
+            run_campaign(spec, workers=1, store=store)
+        done = [r for r in store.list_runs() if r["status"] == "done"]
+        assert len(done) == 1
+
+        flag.touch()
+        resumed = run_campaign(spec, workers=1, store=store)
+        assert resumed["timing"]["resumed_runs"] == 1
+        assert resumed["problems"][0]["timing"]["resumed"] is True
+
+        fresh_store = RunStore(tmp_path / "fresh-store")
+        fresh = run_campaign(spec, workers=1, store=fresh_store)
+        assert json.dumps(
+            deterministic_view(resumed), sort_keys=True
+        ) == json.dumps(deterministic_view(fresh), sort_keys=True)
 
     def test_shared_units_dedupe_across_campaigns(self, paths):
         """A unit reused by a second campaign resolves from the store."""

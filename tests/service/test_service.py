@@ -169,6 +169,48 @@ class TestHttpApi:
 
         assert (status, version) == (200, {"version": repro.__version__})
 
+    def test_domains_endpoint_mirrors_registry(self, server):
+        from repro.domains.registry import registry
+
+        status, payload = _get(server, "/domains")
+        assert status == 200
+        expected = [plugin.to_dict() for plugin in registry().plugins()]
+        assert payload == {"domains": expected}
+        names = {entry["name"] for entry in payload["domains"]}
+        assert {"te", "binpack", "sched", "caching"} <= names
+
+    def test_domain_addressed_spec_submits(self, server, service):
+        spec = dict(SPEC, name="svc-domain")
+        spec["jobs"] = [
+            {
+                "name": "caching",
+                "problem": {
+                    "domain": "caching",
+                    "kwargs": {"num_items": 3, "capacity": 2, "trace_len": 6},
+                },
+            }
+        ]
+        status, submitted = _post(server, "/campaigns", spec)
+        assert status in (200, 202)
+        campaign = _wait_done(server, submitted["campaign_id"])
+        assert campaign["status"] == "done"
+        report = campaign["report"]["problems"][0]
+        assert report["problem"]["factory"] == (
+            "repro.domains.caching:lru_caching_problem"
+        )
+
+    def test_unknown_domain_in_spec_is_400(self, server):
+        spec = dict(SPEC, name="svc-bad-domain")
+        spec["jobs"] = [
+            {"name": "bad", "problem": {"domain": "frobnicate"}}
+        ]
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(server, "/campaigns", spec)
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert "frobnicate" in body["error"]
+        assert "caching" in body["error"]
+
     def test_full_campaign_lifecycle(self, server, service):
         status, submitted = _post(server, "/campaigns", SPEC)
         assert status == 202
