@@ -12,6 +12,15 @@ Strategies:
 * ``anneal``   — simulated annealing with a geometric cooling schedule.
 
 All strategies respect exclusion boxes by rejecting points inside them.
+
+With an *adaptive* :class:`~repro.search.policy.SearchPolicy` attached
+(``search="bandit"``/``"hybrid"``), the configured strategy is
+superseded: the seed hunt runs through the policy's budget-aware
+cell-tree engine instead, which is the whole point of those policies.
+The uniform policy leaves every strategy exactly as it was. Either way
+the random-search path draws its allowance from the run's shared
+:class:`~repro.search.budget.BudgetLedger` rather than a private
+counter, so its ``oracle_calls`` mean the same thing as the DSL path's.
 """
 
 from __future__ import annotations
@@ -23,6 +32,14 @@ import numpy as np
 from repro.analyzer.interface import AdversarialExample, AnalyzedProblem
 from repro.exceptions import AnalyzerError
 from repro.subspace.region import Box
+
+#: ledger stage the analyzer's oracle draws are charged to; mirrors
+#: :data:`repro.search.budget.STAGE_ANALYZER`, which cannot be imported
+#: at module level: loading any repro.search module initializes the
+#: search package, whose import chain runs back through
+#: ``repro.analyzer.__init__`` into this (then partially initialized)
+#: module. A test pins the two spellings together.
+STAGE_ANALYZER = "analyzer"
 
 
 @dataclass
@@ -39,6 +56,21 @@ class BlackBoxAnalyzer:
     initial_temperature: float = 1.0
     cooling: float = 0.97
     history: list[tuple[np.ndarray, float]] = field(default_factory=list)
+    #: the run's :class:`~repro.search.policy.SearchPolicy`; adaptive
+    #: policies take over the seed hunt (see the module docstring)
+    policy: "object | None" = None
+    _ledger: "object | None" = field(default=None, repr=False)
+
+    @property
+    def ledger(self):
+        """The shared budget ledger (the policy's, else a private tracker)."""
+        if self.policy is not None:
+            return self.policy.ledger
+        if self._ledger is None:
+            from repro.search.budget import BudgetLedger
+
+            self._ledger = BudgetLedger()
+        return self._ledger
 
     def find_adversarial(
         self,
@@ -47,22 +79,31 @@ class BlackBoxAnalyzer:
     ) -> AdversarialExample | None:
         """Best input found within the budget, or None if gap <= min_gap."""
         excluded = excluded or []
-        rng = np.random.default_rng(self.seed)
-        if self.strategy == "random":
-            best_x, best_gap = self._random_search(rng, excluded)
-        elif self.strategy == "hillclimb":
-            best_x, best_gap = self._hill_climb(rng, excluded)
-        elif self.strategy == "anneal":
-            best_x, best_gap = self._anneal(rng, excluded)
+        if self.policy is not None and getattr(self.policy, "adaptive", False):
+            best_x, best_gap = self.policy.seed_search(
+                self.problem, min_gap=min_gap, excluded=excluded, budget=self.budget
+            )
+            analyzer = f"blackbox:{self.policy.name}"
+            if best_x is not None:
+                self.history.append((np.asarray(best_x).copy(), float(best_gap)))
         else:
-            raise AnalyzerError(f"unknown strategy {self.strategy!r}")
+            rng = np.random.default_rng(self.seed)
+            if self.strategy == "random":
+                best_x, best_gap = self._random_search(rng, excluded)
+            elif self.strategy == "hillclimb":
+                best_x, best_gap = self._hill_climb(rng, excluded)
+            elif self.strategy == "anneal":
+                best_x, best_gap = self._anneal(rng, excluded)
+            else:
+                raise AnalyzerError(f"unknown strategy {self.strategy!r}")
+            analyzer = f"blackbox:{self.strategy}"
         if best_x is None or best_gap <= min_gap:
             return None
         return AdversarialExample(
             x=best_x,
             predicted_gap=best_gap,
             validated_gap=best_gap,
-            analyzer=f"blackbox:{self.strategy}",
+            analyzer=analyzer,
         )
 
     # -- strategies ------------------------------------------------------------
@@ -71,6 +112,7 @@ class BlackBoxAnalyzer:
 
     def _evaluate(self, x: np.ndarray) -> float:
         gap = self.problem.gap(x)
+        self.ledger.charge(1, STAGE_ANALYZER)
         self.history.append((x.copy(), gap))
         return gap
 
@@ -89,14 +131,28 @@ class BlackBoxAnalyzer:
         and total draws are capped so full exclusion coverage terminates
         with the best point seen so far (or None when nothing admissible
         was ever drawn).
+
+        The per-call allowance is drawn from the shared budget ledger:
+        each evaluated batch is charged to the ``analyzer`` stage, and a
+        ledger with a hard limit (an adaptive policy's) clips the search
+        when the run's overall search budget runs dry. A fresh tracking
+        ledger reproduces the historical behavior exactly.
         """
         box = self.problem.input_box
+        ledger = self.ledger
         best_x, best_gap = None, -np.inf
-        spent = 0
         draws = 0
         max_draws = self.MAX_DRAW_FACTOR * max(self.budget, 1)
-        while spent < self.budget and draws < max_draws:
-            want = min(self.budget - spent, max_draws - draws)
+        charged_before = ledger.stage_spent(STAGE_ANALYZER)
+        while draws < max_draws:
+            spent = ledger.stage_spent(STAGE_ANALYZER) - charged_before
+            allowance = self.budget - spent
+            remaining = ledger.remaining()
+            if remaining is not None:
+                allowance = min(allowance, remaining)
+            if allowance <= 0:
+                break
+            want = min(allowance, max_draws - draws)
             batch = box.sample(rng, want)
             draws += len(batch)
             admissible = np.ones(len(batch), dtype=bool)
@@ -107,9 +163,9 @@ class BlackBoxAnalyzer:
                 continue
             samples = self.problem.evaluate_many(candidates)
             gaps = samples.gaps
+            ledger.charge(len(candidates), STAGE_ANALYZER)
             for x, gap in zip(candidates, gaps):
                 self.history.append((x.copy(), float(gap)))
-            spent += len(candidates)
             index = int(np.argmax(gaps))
             if gaps[index] > best_gap:
                 best_x, best_gap = candidates[index], float(gaps[index])

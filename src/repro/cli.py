@@ -51,12 +51,36 @@ def _add_workers(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
+    from repro.search.policy import SEARCH_POLICIES
+
     parser.add_argument("--seed", type=int, default=1, help="pipeline seed")
     parser.add_argument(
         "--subspaces", type=int, default=1, help="max adversarial subspaces"
     )
     parser.add_argument(
         "--samples", type=int, default=200, help="explainer samples per subspace"
+    )
+    parser.add_argument(
+        "--search",
+        choices=list(SEARCH_POLICIES),
+        default=None,
+        help="gap-search policy: 'uniform' (legacy sampling, default), "
+        "'bandit' (budget-aware UCB cell search), or 'hybrid'",
+    )
+    parser.add_argument(
+        "--search-budget",
+        type=int,
+        default=None,
+        metavar="N",
+        help="oracle-evaluation budget enforced by adaptive search "
+        "policies (uniform only tracks spending)",
+    )
+    parser.add_argument(
+        "--search-rounds",
+        type=int,
+        default=None,
+        metavar="N",
+        help="bandit rounds per search (one sharded oracle batch each)",
     )
     _add_workers(parser)
 
@@ -282,6 +306,16 @@ def _pipeline_config(args, overrides: dict | None = None):
         seed=args.seed,
     )
     params.update(overrides or {})
+    # Search knobs the user explicitly typed beat plugin config_defaults
+    # (an untouched option parses as None and leaves the default alone).
+    for attr, key in (
+        ("search", "search"),
+        ("search_budget", "search_budget"),
+        ("search_rounds", "search_rounds"),
+    ):
+        value = getattr(args, attr, None)
+        if value is not None:
+            params[key] = value
     known = {f.name for f in dataclasses.fields(XPlainConfig)}
     unknown = set(params) - known
     if unknown:
@@ -353,7 +387,12 @@ def cmd_analyze(args) -> int:
         from repro.parallel.campaign import unit_report
 
         data = unit_report(
-            plugin.name, problem.spec or spec, config.seed, problem, report
+            plugin.name,
+            problem.spec or spec,
+            config.seed,
+            problem,
+            report,
+            config=config,
         )
         Path(args.json_out).write_text(
             json_module.dumps(data, indent=2, sort_keys=True)

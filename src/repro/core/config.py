@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import AnalyzerError
+from repro.search.policy import SEARCH_POLICIES
 from repro.subspace.generator import GeneratorConfig
 
 #: legal values for the string-valued knobs, validated eagerly so a typo
@@ -14,6 +15,8 @@ ANALYZERS = ("auto", "metaopt", "blackbox")
 BACKENDS = ("auto", "scipy", "simplex")
 BLACKBOX_STRATEGIES = ("random", "hillclimb", "anneal")
 EXECUTORS = ("serial", "process")
+# SEARCH_POLICIES is defined next to the policies themselves
+# (repro.search.policy) and re-exported here for config consumers.
 
 
 @dataclass
@@ -61,6 +64,16 @@ class XPlainConfig:
     store_retention: int = 0
     #: LRU cap on the in-memory gap-cache entries per engine
     cache_max_entries: int = 1_000_000
+    #: gap-search policy (DESIGN.md §12): "uniform" is the exact legacy
+    #: sampling behavior; "bandit" hunts high-gap regions with a UCB
+    #: cell-tree engine under a hard oracle budget; "hybrid" mixes both
+    search: str = "uniform"
+    #: oracle-evaluation budget the adaptive policies enforce through
+    #: the shared ledger (uniform only *tracks* spending — it must stay
+    #: bit-identical to the pre-search pipeline, so it never clips)
+    search_budget: int = 4096
+    #: bandit rounds per search (each round is one sharded oracle batch)
+    search_rounds: int = 8
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -116,4 +129,19 @@ class XPlainConfig:
             raise AnalyzerError(
                 f"cache_max_entries must be an integer >= 1, "
                 f"got {self.cache_max_entries!r}"
+            )
+        if self.search not in SEARCH_POLICIES:
+            raise AnalyzerError(
+                f"unknown search policy {self.search!r}; "
+                f"expected one of {SEARCH_POLICIES}"
+            )
+        if not isinstance(self.search_budget, int) or self.search_budget < 1:
+            raise AnalyzerError(
+                f"search_budget must be an integer >= 1, "
+                f"got {self.search_budget!r}"
+            )
+        if not isinstance(self.search_rounds, int) or self.search_rounds < 1:
+            raise AnalyzerError(
+                f"search_rounds must be an integer >= 1, "
+                f"got {self.search_rounds!r}"
             )

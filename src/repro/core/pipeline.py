@@ -51,7 +51,24 @@ class XPlain:
         self.config = config or XPlainConfig()
 
     # ------------------------------------------------------------------
-    def make_analyzer(self):
+    def make_policy(self):
+        """The run's search policy (DESIGN.md §12).
+
+        One policy — and therefore one budget ledger and one trace —
+        serves the whole run: the analyzer's seed hunts and the
+        generator's tree-sample draws all charge the same pot.
+        """
+        from repro.search import make_policy
+
+        config = self.config
+        return make_policy(
+            config.search,
+            budget=config.search_budget,
+            rounds=config.search_rounds,
+            seed=config.seed,
+        )
+
+    def make_analyzer(self, policy=None):
         """The heuristic analyzer stage (exact when an encoding exists)."""
         config = self.config
         mode = config.analyzer
@@ -69,6 +86,7 @@ class XPlain:
                 strategy=config.blackbox_strategy,
                 budget=config.blackbox_budget,
                 seed=config.seed,
+                policy=policy,
             )
         raise AnalyzerError(f"unknown analyzer mode {mode!r}")
 
@@ -128,9 +146,14 @@ class XPlain:
                     spill = GapSpill(config.store_path, cache_key)
                     spill.preload(engine.cache)
                     engine.configure_cache(spill=spill)
-            # Type 1: adversarial subspaces (§5.2).
+            # Type 1: adversarial subspaces (§5.2), spent through the
+            # run's search policy (uniform = the exact legacy streams).
+            policy = self.make_policy()
             generator = AdversarialSubspaceGenerator(
-                self.problem, self.make_analyzer(), config.generator
+                self.problem,
+                self.make_analyzer(policy=policy),
+                config.generator,
+                policy=policy,
             )
             generator_report = generator.run()
 

@@ -73,6 +73,9 @@ class XPlainReport:
         stats = self.generator_report.oracle_stats
         if stats is not None and getattr(stats, "points", 0):
             lines.extend(f"  {line}" for line in stats.describe().splitlines())
+        trace = self.generator_report.search_trace
+        if trace is not None and getattr(trace, "total_spent", 0):
+            lines.extend(f"  {line}" for line in trace.describe().splitlines())
         for i, item in enumerate(self.explained):
             lines.append(f"--- subspace D{i} " + "-" * 40)
             lines.append(item.describe(self.problem.input_names))

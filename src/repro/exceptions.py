@@ -53,6 +53,10 @@ class SubspaceError(ReproError):
     """The adversarial subspace generator was configured inconsistently."""
 
 
+class SearchError(ReproError):
+    """The adaptive gap-search subsystem was misconfigured or overdrawn."""
+
+
 class ExplainError(ReproError):
     """The explainer could not score or render a subspace."""
 

@@ -53,8 +53,14 @@ class EdgeSample:
 def score_sample(
     heuristic: EdgeFlows, benchmark: EdgeFlows
 ) -> dict[EdgeKey, EdgeSample]:
-    """Score every edge that appears in either flow assignment."""
-    keys = set(heuristic) | set(benchmark)
+    """Score every edge that appears in either flow assignment.
+
+    Keys are sorted: set order depends on the per-process string hash
+    seed, and it leaks into heatmap/explanation ordering wherever two
+    edges tie on score — reports must be process-independent (the CI
+    search-ablation job diffs them across invocations).
+    """
+    keys = sorted(set(heuristic) | set(benchmark))
     return {
         key: EdgeSample(
             heuristic_flow=heuristic.get(key, 0.0),

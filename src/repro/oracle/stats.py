@@ -27,6 +27,10 @@ class OracleStats:
     native_batched: int = 0
     #: evaluated points served by the scalar python-loop fallback
     scalar_fallback: int = 0
+    #: points charged to the run's shared search budget ledger
+    #: (:mod:`repro.search.budget`) — comparable across the black-box
+    #: and DSL analyzer paths because both draw from the same ledger
+    oracle_calls: int = 0
     #: LP template re-solves that warm-started from the previous basis
     warm_solves: int = 0
     #: LP template solves that fell back to the cold two-phase simplex

@@ -162,12 +162,51 @@ def load_campaign_spec(path: str | Path) -> CampaignSpec:
 
 
 # ----------------------------------------------------------------------
+#: nested campaign-spec search-block keys -> flat XPlainConfig knobs
+_SEARCH_BLOCK_KEYS = {
+    "policy": "search",
+    "budget": "search_budget",
+    "rounds": "search_rounds",
+}
+
+
+def normalize_search_overrides(config: dict) -> dict:
+    """Expand a nested ``{"search": {...}}`` block into the flat knobs.
+
+    Campaign specs may spell the search configuration either flat
+    (``"search": "bandit", "search_budget": 512``) or as a block
+    (``"search": {"policy": "bandit", "budget": 512}``). Both normalize
+    to the same flat keys *before* unit payloads are planned, so
+    content-addressed run IDs are spelling-independent across policies.
+    """
+    search = config.get("search")
+    if not isinstance(search, dict):
+        return config
+    block = dict(search)
+    out = {k: v for k, v in config.items() if k != "search"}
+    for key, target in _SEARCH_BLOCK_KEYS.items():
+        if key not in block:
+            continue
+        if target in out:
+            raise AnalyzerError(
+                f"campaign config gives both a search block {key!r} and "
+                f"the flat key {target!r}; use one spelling"
+            )
+        out[target] = block.pop(key)
+    if block:
+        raise AnalyzerError(
+            f"unknown search block keys {sorted(block)}; expected "
+            f"{sorted(_SEARCH_BLOCK_KEYS)}"
+        )
+    return out
+
+
 def _build_job_config(payload: dict):
     """An :class:`XPlainConfig` from a merged defaults+job override dict."""
     from repro.core.config import XPlainConfig
     from repro.subspace.generator import GeneratorConfig
 
-    overrides = dict(payload)
+    overrides = normalize_search_overrides(dict(payload))
     generator_overrides = overrides.pop("generator", {})
     known = {f.name for f in dataclasses.fields(XPlainConfig)}
     unknown = set(overrides) - known
@@ -217,15 +256,21 @@ def execute_job(job_payload: dict) -> dict:
     # campaign units is off; the campaign-level store is the driver's.
     config.store_path = None
     report = XPlain(problem, config).run()
-    return unit_report(job_payload["name"], spec, seed, problem, report)
+    return unit_report(
+        job_payload["name"], spec, seed, problem, report, config=config
+    )
 
 
-def unit_report(name: str, spec: ProblemSpec, seed: int, problem, report) -> dict:
+def unit_report(
+    name: str, spec: ProblemSpec, seed: int, problem, report, config=None
+) -> dict:
     """Reduce one finished :class:`XPlainReport` to its JSON-safe form.
 
     Shared by campaign units and ``repro analyze --json-out``, so both
     emit the same schema (regions/explanations in round-trip form,
-    wall-clock under ``"timing"``).
+    wall-clock under ``"timing"``, the active search policy and budget
+    plus the full :class:`~repro.search.trace.SearchTrace` under
+    ``"search"``).
     """
     counters, stats_timing = _stats_dicts(report.generator_report.oracle_stats)
     subspaces = []
@@ -243,10 +288,24 @@ def unit_report(name: str, spec: ProblemSpec, seed: int, problem, report) -> dic
                 "p_value": float(explained.subspace.significance.p_value),
             }
         )
+    trace = report.generator_report.search_trace
+    search_block = {
+        "policy": config.search if config is not None else (
+            trace.policy if trace is not None else "uniform"
+        ),
+        "budget": config.search_budget if config is not None else None,
+        "rounds": config.search_rounds if config is not None else None,
+        "oracle_calls": trace.total_spent if trace is not None else 0,
+        "evals_to_first_region": (
+            trace.evals_to_first_region if trace is not None else None
+        ),
+        "trace": trace.to_dict() if trace is not None else None,
+    }
     return {
         "name": name,
         "problem": spec.to_dict(),
         "seed": seed,
+        "search": search_block,
         "input_names": list(problem.input_names),
         "worst_gap": float(report.worst_gap),
         "threshold": float(report.generator_report.threshold),
@@ -272,10 +331,14 @@ def plan_campaign(spec: CampaignSpec) -> list[dict]:
     payloads = []
     for index, job in enumerate(spec.jobs):
         payload = job.to_dict()
-        merged = dict(spec.defaults)
+        # Search blocks normalize to flat knobs *before* merging (and
+        # before hashing), so `{"search": {"policy": "bandit"}}` and
+        # `{"search": "bandit"}` plan identical payloads — run IDs stay
+        # spelling-independent across policies.
+        merged = normalize_search_overrides(dict(spec.defaults))
         # Nested generator overrides merge key-wise, not wholesale.
         merged_generator = dict(merged.pop("generator", {}))
-        job_config = dict(payload["config"])
+        job_config = normalize_search_overrides(dict(payload["config"]))
         merged_generator.update(job_config.pop("generator", {}))
         merged.update(job_config)
         if merged_generator:

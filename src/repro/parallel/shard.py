@@ -26,6 +26,7 @@ import numpy as np
 STAGE_EXPLAIN = 1
 STAGE_GENERALIZE = 2
 STAGE_CAMPAIGN = 3
+STAGE_SEARCH = 4
 
 #: default number of points per evaluation work unit
 DEFAULT_UNIT_POINTS = 64

@@ -1,0 +1,52 @@
+"""Budget-aware adaptive gap search (DESIGN.md §12).
+
+The planning layer between the samplers and the gap oracle: a
+:class:`~repro.search.policy.SearchPolicy` decides *where* the
+pipeline's oracle budget is spent. ``uniform`` reproduces the legacy
+blind sampling bit for bit; ``bandit`` hunts high-gap regions with a
+UCB bandit over a refinable, prunable cell tree; ``hybrid`` mixes the
+two. Every policy charges one shared
+:class:`~repro.search.budget.BudgetLedger` and logs onto a
+:class:`~repro.search.trace.SearchTrace` that rides in run reports,
+persists in the run store, and is served at ``GET /runs/<id>/search``.
+"""
+
+from repro.search.budget import (
+    STAGE_ANALYZER,
+    STAGE_RECENTER,
+    STAGE_TREE,
+    BudgetLedger,
+)
+from repro.search.cells import Cell
+from repro.search.engine import AdaptiveSearchEngine, SearchResult
+from repro.search.measure import evals_to_target, local_bad_density
+from repro.search.policy import (
+    SEARCH_POLICIES,
+    BanditPolicy,
+    HybridPolicy,
+    SearchPolicy,
+    UniformPolicy,
+    make_policy,
+)
+from repro.search.trace import CellScore, SearchRound, SearchTrace
+
+__all__ = [
+    "AdaptiveSearchEngine",
+    "BanditPolicy",
+    "BudgetLedger",
+    "Cell",
+    "CellScore",
+    "HybridPolicy",
+    "SEARCH_POLICIES",
+    "STAGE_ANALYZER",
+    "STAGE_RECENTER",
+    "STAGE_TREE",
+    "SearchPolicy",
+    "SearchResult",
+    "SearchRound",
+    "SearchTrace",
+    "UniformPolicy",
+    "evals_to_target",
+    "local_bad_density",
+    "make_policy",
+]

@@ -1,0 +1,117 @@
+"""The shared oracle-call budget ledger.
+
+Every search-routed gap evaluation — the black-box analyzer's seed
+search, the subspace generator's tree-sample draws, the bandit engine's
+cell batches — is charged against one :class:`BudgetLedger` per pipeline
+run, tagged with the stage that spent it. That gives two things the old
+per-component counters could not:
+
+* **comparable accounting** — the black-box and DSL (MetaOpt) analyzer
+  paths report their search spending through the same ledger, so
+  ``oracle_calls`` in :class:`~repro.oracle.stats.OracleStats` means the
+  same thing on both;
+* **a real budget** — adaptive policies (:mod:`repro.search.policy`)
+  treat ``limit`` as a hard cap and stop drawing when the ledger is
+  exhausted. The ``uniform`` policy never clips (it must reproduce the
+  legacy pipeline bit for bit) and uses the ledger as a tracker only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SearchError
+
+#: ledger stage names the pipeline charges (kept here, the leaf module
+#: of the search package, so the analyzers can import them without
+#: pulling the whole policy/engine stack into their import graph)
+STAGE_ANALYZER = "analyzer"  #: black-box adversarial seed search
+STAGE_RECENTER = "recenter"  #: seed re-centering probe
+STAGE_TREE = "tree"  #: regression-tree training samples
+
+
+@dataclass
+class BudgetLedger:
+    """Per-stage spending record with an optional hard limit.
+
+    ``limit=None`` means unlimited (track only). Charges are integral
+    point counts; the ledger never goes negative and ``take`` never
+    grants more than what remains.
+    """
+
+    limit: int | None = None
+    stages: dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and (
+            not isinstance(self.limit, int) or self.limit < 1
+        ):
+            raise SearchError(
+                f"budget limit must be a positive integer or None, "
+                f"got {self.limit!r}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def spent(self) -> int:
+        """Total points charged across all stages."""
+        return sum(self.stages.values())
+
+    def stage_spent(self, stage: str) -> int:
+        return self.stages.get(stage, 0)
+
+    def remaining(self) -> int | None:
+        """Points left under the limit, or None when unlimited."""
+        if self.limit is None:
+            return None
+        return max(0, self.limit - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.limit is not None and self.spent >= self.limit
+
+    # ------------------------------------------------------------------
+    def charge(self, points: int, stage: str) -> int:
+        """Record ``points`` oracle evaluations against ``stage``.
+
+        Charging is unconditional — the caller already evaluated the
+        points — so an overdraw is recorded faithfully rather than
+        silently clipped; use :meth:`take` *before* evaluating to stay
+        within the limit.
+        """
+        if points < 0:
+            raise SearchError(f"cannot charge {points} points")
+        if points:
+            self.stages[stage] = self.stages.get(stage, 0) + int(points)
+        return int(points)
+
+    def take(self, want: int, stage: str) -> int:
+        """Reserve up to ``want`` points for ``stage`` and charge them.
+
+        Returns how many were granted: ``want`` when unlimited,
+        otherwise ``min(want, remaining)``. Adaptive policies size their
+        next oracle batch with this, so they can never overdraw.
+        """
+        if want <= 0:
+            return 0
+        granted = want
+        remaining = self.remaining()
+        if remaining is not None:
+            granted = min(want, remaining)
+        return self.charge(granted, stage)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form; round-trips through :meth:`from_dict`."""
+        return {
+            "limit": self.limit,
+            "spent": self.spent,
+            "stages": {k: int(v) for k, v in sorted(self.stages.items())},
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "BudgetLedger":
+        ledger = BudgetLedger(limit=data.get("limit"))
+        for stage, points in (data.get("stages") or {}).items():
+            ledger.charge(int(points), str(stage))
+        return ledger

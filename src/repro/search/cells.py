@@ -1,0 +1,163 @@
+"""The cell tree the bandit engine searches over.
+
+A :class:`Cell` is one axis-aligned sub-box of the search domain plus
+the gap statistics of every oracle point drawn inside it. Cells form a
+binary tree: the root is the whole search box; refining a promising
+cell cuts it in two — at the best variance-reduction split of the
+cell's *own* samples (:meth:`repro.subspace.tree.RegressionTree.
+root_split`, the same CART machinery that refines subspaces in §5.2),
+falling back to a midpoint cut of the widest side when the samples
+carry no split signal. Children inherit the parent's samples, so no
+oracle evaluation is ever re-bought.
+
+Determinism: cells are numbered in creation order and each owns a
+random stream derived from ``(seed, STAGE_SEARCH, index)`` via the
+repo's :func:`~repro.parallel.shard.derive_seed` machinery — which cell
+draws how many points is decided by the engine's (deterministic) bandit
+loop, and the draws themselves are order-free across cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.parallel.shard import STAGE_SEARCH, derive_seed
+from repro.subspace.region import Box
+from repro.subspace.tree import RegressionTree
+
+#: a cell needs at least this many samples before a CART cut is trusted
+MIN_SPLIT_SAMPLES = 8
+
+
+@dataclass
+class Cell:
+    """One search cell: a sub-box plus its observed gap statistics."""
+
+    cell_id: str  #: path-style id ("0", "0.L", "0.R.L", ...)
+    index: int  #: creation order (the derived-seed shard coordinate)
+    box: Box
+    depth: int
+    seed: int
+    points: np.ndarray = field(default=None)  # type: ignore[assignment]
+    gaps: np.ndarray = field(default=None)  # type: ignore[assignment]
+    status: str = "frontier"  #: "frontier" | "split" | "pruned"
+    _rng: np.random.Generator = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.points is None:
+            self.points = np.zeros((0, self.box.dim))
+        if self.gaps is None:
+            self.gaps = np.zeros(0)
+
+    # ------------------------------------------------------------------
+    @property
+    def rng(self) -> np.random.Generator:
+        """The cell's own derived random stream (created lazily)."""
+        if self._rng is None:
+            self._rng = np.random.default_rng(
+                derive_seed(self.seed, STAGE_SEARCH, self.index)
+            )
+        return self._rng
+
+    @property
+    def evals(self) -> int:
+        return len(self.gaps)
+
+    @property
+    def mean_gap(self) -> float:
+        return float(self.gaps.mean()) if self.evals else 0.0
+
+    @property
+    def max_gap(self) -> float:
+        return float(self.gaps.max()) if self.evals else 0.0
+
+    def volume(self) -> float:
+        return self.box.volume()
+
+    # ------------------------------------------------------------------
+    def draw(self, count: int) -> np.ndarray:
+        """Uniform proposals inside the cell from its own stream."""
+        return self.box.sample(self.rng, count)
+
+    def absorb(self, points: np.ndarray, gaps: np.ndarray) -> None:
+        """Record freshly evaluated points."""
+        if len(points) == 0:
+            return
+        self.points = np.vstack([self.points, points])
+        self.gaps = np.concatenate([self.gaps, gaps])
+
+    # ------------------------------------------------------------------
+    def split_plan(self) -> tuple[int, float]:
+        """Where to cut this cell: ``(dimension, threshold)``.
+
+        Prefers the CART root split of the cell's own samples (restricted
+        to raw input axes — cell geometry must stay a box); falls back to
+        the midpoint of the widest side. The threshold is clamped away
+        from the cell faces so neither child is degenerate.
+        """
+        dim, threshold = self._widest_midpoint()
+        if self.evals >= MIN_SPLIT_SAMPLES and np.ptp(self.gaps) > 1e-12:
+            tree = RegressionTree(
+                max_depth=1,
+                min_samples_leaf=max(2, self.evals // 4),
+                max_candidate_splits=16,
+            )
+            tree.fit(self.points, self.gaps)
+            split = tree.root_split()
+            if split is not None:
+                dim, threshold = split
+        lo, hi = self.box.lo[dim], self.box.hi[dim]
+        margin = 0.05 * (hi - lo)
+        threshold = float(np.clip(threshold, lo + margin, hi - margin))
+        return dim, threshold
+
+    def _widest_midpoint(self) -> tuple[int, float]:
+        widths = self.box.widths
+        dim = int(np.argmax(widths))
+        return dim, float(self.box.lo[dim] + widths[dim] / 2.0)
+
+    def split(self, next_index: int) -> tuple["Cell", "Cell"]:
+        """Cut the cell in two, handing each child its share of samples."""
+        dim, threshold = self.split_plan()
+        lo, hi = self.box.lo_array, self.box.hi_array
+        left_hi = hi.copy()
+        left_hi[dim] = threshold
+        right_lo = lo.copy()
+        right_lo[dim] = threshold
+        left_box = Box.from_arrays(lo, left_hi)
+        right_box = Box.from_arrays(right_lo, hi)
+        mask = self.points[:, dim] <= threshold if self.evals else np.zeros(0, bool)
+        left = Cell(
+            cell_id=f"{self.cell_id}.L",
+            index=next_index,
+            box=left_box,
+            depth=self.depth + 1,
+            seed=self.seed,
+            points=self.points[mask],
+            gaps=self.gaps[mask],
+        )
+        right = Cell(
+            cell_id=f"{self.cell_id}.R",
+            index=next_index + 1,
+            box=right_box,
+            depth=self.depth + 1,
+            seed=self.seed,
+            points=self.points[~mask],
+            gaps=self.gaps[~mask],
+        )
+        self.status = "split"
+        return left, right
+
+
+def covered_by_any(box: Box, exclusions: list[Box]) -> bool:
+    """Whether ``box`` lies entirely inside one exclusion box.
+
+    Used to retire cells the analyzer has already excluded: no point
+    inside them is admissible, so spending oracle budget there is waste.
+    """
+    return any(
+        exclusion.contains(box.lo_array) and exclusion.contains(box.hi_array)
+        for exclusion in exclusions
+    )

@@ -1,0 +1,140 @@
+"""Ablation measurements: how many oracle calls until a policy scores.
+
+These helpers are the shared substrate of
+``benchmarks/test_bench_adaptive_search.py`` and the CI
+``search-ablation`` job's ``BENCH_search.json`` distillation: for one
+problem and one policy, count oracle evaluations until the first point
+with ``gap >= target_gap`` is seen (the "evals to first region"
+metric). Counting is identical across policies — points submitted to
+``evaluate_many``, in submission order — so the ratios are fair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import SearchError
+from repro.parallel.shard import STAGE_SEARCH, derive_seed
+from repro.search.budget import BudgetLedger
+from repro.search.engine import AdaptiveSearchEngine
+from repro.search.policy import SEARCH_POLICIES
+
+#: points per uniform sweep batch (also the bandit engine's effective
+#: granularity through its round allocation)
+MEASURE_BATCH = 64
+
+
+def _uniform_evals_to_target(
+    problem, target_gap: float, seed: int, budget: int, hits: int
+) -> int | None:
+    rng = np.random.default_rng(derive_seed(seed, STAGE_SEARCH, 0))
+    spent = 0
+    seen = 0
+    while spent < budget:
+        n = min(MEASURE_BATCH, budget - spent)
+        points = problem.input_box.sample(rng, n)
+        gaps = problem.evaluate_many(points).gaps
+        positions = np.flatnonzero(gaps >= target_gap)
+        if len(positions) >= hits - seen:
+            return spent + int(positions[hits - seen - 1]) + 1
+        seen += len(positions)
+        spent += n
+    return None
+
+
+def _bandit_evals_to_target(
+    problem, target_gap: float, seed: int, budget: int, rounds: int | None, hits: int
+) -> int | None:
+    if rounds is None:
+        # Small per-round batches give the bandit room to adapt: ~16
+        # points per round, capped so tiny budgets still run in one go.
+        rounds = max(1, budget // 16)
+    ledger = BudgetLedger(limit=budget)
+    engine = AdaptiveSearchEngine(
+        problem,
+        problem.input_box,
+        threshold=0.0,
+        ledger=ledger,
+        budget=budget,
+        rounds=rounds,
+        seed=seed,
+        stage="measure",
+        target_gap=target_gap,
+        target_hits=hits,
+    )
+    return engine.run().evals_to_target
+
+
+def evals_to_target(
+    problem,
+    policy: str,
+    target_gap: float,
+    seed: int = 0,
+    budget: int = 20_000,
+    rounds: int | None = None,
+    hits: int = 1,
+) -> int | None:
+    """Oracle evaluations until ``hits`` points with ``gap >= target_gap``.
+
+    ``hits=1`` measures time-to-first-adversarial-point; a larger count
+    measures time-to-*region* — the policy has to accumulate that many
+    above-target points, which rewards concentrating on dense bad areas
+    rather than getting lucky once. Returns None when the policy
+    exhausts ``budget`` first. Deterministic for a fixed
+    ``(problem, policy, seed)``.
+    """
+    if policy not in SEARCH_POLICIES:
+        raise SearchError(
+            f"unknown search policy {policy!r}; "
+            f"expected one of {SEARCH_POLICIES}"
+        )
+    if policy == "uniform":
+        return _uniform_evals_to_target(problem, target_gap, seed, budget, hits)
+    if policy == "bandit":
+        return _bandit_evals_to_target(problem, target_gap, seed, budget, rounds, hits)
+    # hybrid: a uniform coverage sweep first, then the bandit engine.
+    # (The sweep and the engine count hits independently, which only
+    # *understates* the hybrid's speed — acceptable for an ablation.)
+    sweep = budget // 2
+    found = _uniform_evals_to_target(problem, target_gap, seed, sweep, hits)
+    if found is not None:
+        return found
+    # The engine's root cell would otherwise derive the very stream the
+    # sweep just drained (both start from (seed, STAGE_SEARCH, 0)) and
+    # open by re-evaluating known-bad points — derive a fresh branch.
+    refined = _bandit_evals_to_target(
+        problem,
+        target_gap,
+        derive_seed(seed, STAGE_SEARCH, 1),
+        budget - sweep,
+        rounds,
+        hits,
+    )
+    return None if refined is None else sweep + refined
+
+
+def local_bad_density(
+    problem,
+    x: np.ndarray,
+    target_gap: float,
+    seed: int = 0,
+    samples: int = 200,
+    radius_fraction: float = 0.05,
+) -> float:
+    """Fraction of a small box around ``x`` with ``gap >= target_gap``.
+
+    The benchmark's "region of equal gap density" check: a policy must
+    not win the evals race by landing on an isolated spike — the
+    neighborhood it found has to carry comparable bad mass.
+    """
+    from repro.subspace.region import Box
+
+    box = Box.around(
+        np.asarray(x, dtype=float),
+        problem.input_box.widths * radius_fraction,
+        bounds=problem.input_box,
+    )
+    rng = np.random.default_rng(derive_seed(seed, STAGE_SEARCH, 1))
+    points = box.sample(rng, samples)
+    gaps = problem.evaluate_many(points).gaps
+    return float(np.mean(gaps >= target_gap))

@@ -1,0 +1,266 @@
+"""Search policies: how the pipeline spends its gap-oracle budget.
+
+A :class:`SearchPolicy` sits between the samplers and the oracle. The
+subspace generator asks it for tree-training samples inside a box
+(:meth:`~SearchPolicy.sample_region`) and the black-box analyzer asks
+it for an adversarial seed point (:meth:`~SearchPolicy.seed_search`);
+both charge the policy's shared :class:`~repro.search.budget.
+BudgetLedger` and log onto its :class:`~repro.search.trace.SearchTrace`.
+
+Three policies are registered:
+
+* ``uniform`` — the exact legacy behavior, bit for bit: every draw goes
+  through :func:`repro.subspace.sampler.sample_in_box` with the caller's
+  own random stream, and the ledger only *tracks* (it never clips), so
+  a ``search="uniform"`` run reproduces the pre-search pipeline
+  identically. This is the default.
+* ``bandit`` — every draw runs the UCB cell-tree engine
+  (:class:`~repro.search.engine.AdaptiveSearchEngine`); the ledger's
+  ``search_budget`` limit is a hard cap.
+* ``hybrid`` — half of each allowance is spent uniformly (coverage),
+  the rest through the bandit engine (exploitation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import SearchError
+from repro.parallel.shard import STAGE_SEARCH, derive_seed
+from repro.search.budget import STAGE_ANALYZER, BudgetLedger
+from repro.search.engine import AdaptiveSearchEngine
+from repro.search.trace import SearchTrace
+from repro.subspace.region import Box
+from repro.subspace.sampler import SampleSet, sample_in_box
+
+#: legal values of the ``search`` config knob / ``--search`` CLI option
+SEARCH_POLICIES = ("uniform", "bandit", "hybrid")
+
+
+@runtime_checkable
+class SearchPolicy(Protocol):
+    """What the generator and the analyzers need from a policy."""
+
+    name: str
+    #: adaptive policies enforce the budget and replace uniform draws;
+    #: the uniform policy is pass-through and never clips
+    adaptive: bool
+    ledger: BudgetLedger
+    trace: SearchTrace
+
+    def sample_region(
+        self,
+        problem,
+        box: Box,
+        count: int,
+        threshold: float,
+        rng: np.random.Generator,
+        stage: str,
+    ) -> SampleSet:
+        """Draw (up to) ``count`` evaluated samples inside ``box``."""
+        ...
+
+    def seed_search(
+        self,
+        problem,
+        min_gap: float,
+        excluded: list[Box],
+        budget: int,
+    ) -> tuple[np.ndarray | None, float]:
+        """Hunt the input box for the highest-gap admissible point."""
+        ...
+
+
+class UniformPolicy:
+    """The legacy behavior: uniform draws, tracking-only ledger."""
+
+    adaptive = False
+
+    def __init__(self, seed: int = 0) -> None:
+        # No budget: uniform must reproduce the pre-search pipeline bit
+        # for bit, so its ledger has no limit and its trace records no
+        # enforceable budget (reports carry the *configured* value in
+        # their "search" block, sourced from the config).
+        self.name = "uniform"
+        self.seed = seed
+        self.ledger = BudgetLedger(limit=None)
+        self.trace = SearchTrace(policy=self.name, budget=None, ledger=self.ledger)
+
+    def sample_region(self, problem, box, count, threshold, rng, stage) -> SampleSet:
+        samples = sample_in_box(problem, box, count, threshold, rng)
+        self.ledger.charge(samples.size, stage)
+        if samples.size:
+            self.trace.best_gap = max(self.trace.best_gap, float(samples.gaps.max()))
+        return samples
+
+    def seed_search(self, problem, min_gap, excluded, budget):
+        raise SearchError(
+            "the uniform policy has no adaptive seed search; the "
+            "black-box analyzer keeps its own strategies under "
+            "search='uniform'"
+        )
+
+
+class BanditPolicy:
+    """UCB cell-tree search against a hard budget."""
+
+    adaptive = True
+    name = "bandit"
+
+    def __init__(
+        self,
+        budget: int,
+        rounds: int,
+        seed: int = 0,
+        explore: float = 0.5,
+    ) -> None:
+        self.seed = seed
+        self.rounds = max(1, int(rounds))
+        self.explore = explore
+        self.ledger = BudgetLedger(limit=int(budget))
+        self.trace = SearchTrace(
+            policy=self.name,
+            budget=int(budget),
+            rounds_planned=self.rounds,
+            ledger=self.ledger,
+        )
+        #: per-call counter: every engine launch owns a derived stream
+        self._calls = 0
+
+    # ------------------------------------------------------------------
+    def _next_seed(self) -> int:
+        seed = derive_seed(self.seed, STAGE_SEARCH, self._calls)
+        self._calls += 1
+        return seed
+
+    def _engine(
+        self,
+        problem,
+        box: Box,
+        threshold: float,
+        budget: int,
+        rounds: int,
+        stage: str,
+        excluded: list[Box] | None = None,
+        target_gap: float | None = None,
+    ) -> AdaptiveSearchEngine:
+        return AdaptiveSearchEngine(
+            problem,
+            box,
+            threshold=threshold,
+            ledger=self.ledger,
+            budget=budget,
+            rounds=rounds,
+            seed=self._next_seed(),
+            stage=stage,
+            excluded=excluded,
+            explore=self.explore,
+            trace=self.trace,
+            target_gap=target_gap,
+        )
+
+    # ------------------------------------------------------------------
+    def sample_region(self, problem, box, count, threshold, rng, stage) -> SampleSet:
+        if count <= 0 or self.ledger.exhausted:
+            return SampleSet(np.zeros((0, box.dim)), np.zeros(0), threshold)
+        # Short bursts get few rounds so every round still carries a
+        # meaningful batch; long hunts get the configured round count.
+        rounds = max(1, min(self.rounds, count // 16))
+        engine = self._engine(
+            problem, box, threshold, budget=count, rounds=rounds, stage=stage
+        )
+        return engine.run().samples
+
+    def seed_search(self, problem, min_gap, excluded, budget):
+        if self.ledger.exhausted:
+            return None, -math.inf
+        engine = self._engine(
+            problem,
+            problem.input_box,
+            threshold=min_gap,
+            budget=budget,
+            rounds=self.rounds,
+            stage=STAGE_ANALYZER,
+            excluded=excluded,
+        )
+        result = engine.run()
+        return result.best_x, result.best_gap
+
+
+class HybridPolicy(BanditPolicy):
+    """Half uniform coverage, half bandit refinement."""
+
+    name = "hybrid"
+
+    def sample_region(self, problem, box, count, threshold, rng, stage) -> SampleSet:
+        if count <= 0 or self.ledger.exhausted:
+            return SampleSet(np.zeros((0, box.dim)), np.zeros(0), threshold)
+        uniform_want = self.ledger.take(count // 2, stage)
+        coverage = sample_in_box(
+            problem,
+            box,
+            uniform_want,
+            threshold,
+            np.random.default_rng(self._next_seed()),
+        )
+        if coverage.size:
+            self.trace.best_gap = max(self.trace.best_gap, float(coverage.gaps.max()))
+        refined = BanditPolicy.sample_region(
+            self, problem, box, count - uniform_want, threshold, rng, stage
+        )
+        return coverage.merged_with(refined)
+
+    def seed_search(self, problem, min_gap, excluded, budget):
+        sweep_want = budget // 2
+        remaining = self.ledger.remaining()
+        if remaining is not None:
+            sweep_want = min(sweep_want, remaining)
+        best_x: np.ndarray | None = None
+        best_gap = -math.inf
+        charged = 0
+        if sweep_want > 0:
+            rng = np.random.default_rng(self._next_seed())
+            points = problem.input_box.sample(rng, sweep_want)
+            admissible = np.ones(len(points), dtype=bool)
+            for exclusion in excluded:
+                admissible &= ~exclusion.contains_many(points)
+            points = points[admissible]
+            # Charge only what actually reaches the oracle: discarded
+            # (excluded) draws cost nothing, so the ledger's
+            # oracle_calls stays an honest evaluation count and the
+            # bandit phase is not clipped by phantom spending.
+            charged = self.ledger.take(len(points), STAGE_ANALYZER)
+            points = points[:charged]
+            if len(points):
+                gaps = problem.evaluate_many(points).gaps
+                index = int(np.argmax(gaps))
+                best_x, best_gap = points[index].copy(), float(gaps[index])
+                self.trace.best_gap = max(self.trace.best_gap, max(best_gap, 0.0))
+        bandit_x, bandit_gap = BanditPolicy.seed_search(
+            self, problem, min_gap, excluded, budget - charged
+        )
+        if bandit_x is not None and bandit_gap > best_gap:
+            return bandit_x, bandit_gap
+        return best_x, best_gap
+
+
+def make_policy(
+    name: str,
+    budget: int,
+    rounds: int,
+    seed: int = 0,
+    explore: float = 0.5,
+) -> SearchPolicy:
+    """Build the policy a run's configuration asks for."""
+    if name == "uniform":
+        return UniformPolicy(seed=seed)
+    if name == "bandit":
+        return BanditPolicy(budget=budget, rounds=rounds, seed=seed, explore=explore)
+    if name == "hybrid":
+        return HybridPolicy(budget=budget, rounds=rounds, seed=seed, explore=explore)
+    raise SearchError(
+        f"unknown search policy {name!r}; expected one of {SEARCH_POLICIES}"
+    )

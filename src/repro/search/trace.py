@@ -1,0 +1,173 @@
+"""The search trace: what the adaptive engine did with its budget.
+
+A :class:`SearchTrace` is the deterministic audit log of one pipeline
+run's search activity: per-round frontier-cell scores and allocations,
+the budget ledger's per-stage spending, how much input volume was pruned
+as hopeless, and how many oracle evaluations it took to reach the first
+confirmed adversarial region. It rides inside the campaign unit report
+(``unit_report["search"]``), round-trips through the run store, and is
+served by ``GET /runs/<id>/search``.
+
+Everything here is JSON-safe and a pure function of the unit payload —
+the same determinism contract the rest of the report obeys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.search.budget import BudgetLedger
+
+#: frontier-cell score rows kept per round in the trace (the engine may
+#: track many more cells; the trace keeps the top scorers so reports stay
+#: small — `scores_truncated` records when that happened)
+MAX_TRACED_CELLS = 16
+
+
+@dataclass
+class CellScore:
+    """One frontier cell's score snapshot at round-selection time."""
+
+    cell: str  #: path-style cell id ("0", "0.L", "0.L.R", ...)
+    evals: int
+    mean_gap: float
+    max_gap: float
+    score: float
+    status: str  #: "frontier" | "split" | "pruned"
+
+    def to_dict(self) -> dict:
+        return {
+            "cell": self.cell,
+            "evals": int(self.evals),
+            "mean_gap": float(self.mean_gap),
+            "max_gap": float(self.max_gap),
+            "score": float(self.score),
+            "status": self.status,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "CellScore":
+        return CellScore(
+            cell=str(data["cell"]),
+            evals=int(data["evals"]),
+            mean_gap=float(data["mean_gap"]),
+            max_gap=float(data["max_gap"]),
+            score=float(data["score"]),
+            status=str(data["status"]),
+        )
+
+
+@dataclass
+class SearchRound:
+    """One bandit round: who scored what, who got the oracle batch."""
+
+    index: int
+    stage: str  #: ledger stage this round charged ("analyzer", "tree", ...)
+    allocated: dict[str, int]  #: cell id -> points granted this round
+    scores: list[CellScore] = field(default_factory=list)
+    scores_truncated: bool = False
+    best_gap: float = 0.0
+    spent_after: int = 0  #: ledger total after this round's batch
+
+    def to_dict(self) -> dict:
+        return {
+            "index": int(self.index),
+            "stage": self.stage,
+            "allocated": {k: int(v) for k, v in sorted(self.allocated.items())},
+            "scores": [s.to_dict() for s in self.scores],
+            "scores_truncated": bool(self.scores_truncated),
+            "best_gap": float(self.best_gap),
+            "spent_after": int(self.spent_after),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SearchRound":
+        return SearchRound(
+            index=int(data["index"]),
+            stage=str(data["stage"]),
+            allocated={str(k): int(v) for k, v in data["allocated"].items()},
+            scores=[CellScore.from_dict(s) for s in data.get("scores", [])],
+            scores_truncated=bool(data.get("scores_truncated", False)),
+            best_gap=float(data.get("best_gap", 0.0)),
+            spent_after=int(data.get("spent_after", 0)),
+        )
+
+
+@dataclass
+class SearchTrace:
+    """The full audit log of one run's search subsystem."""
+
+    policy: str
+    budget: int | None = None
+    rounds_planned: int = 0
+    rounds: list[SearchRound] = field(default_factory=list)
+    ledger: BudgetLedger = field(default_factory=BudgetLedger)
+    pruned_volume: float = 0.0
+    domain_volume: float = 0.0
+    best_gap: float = 0.0
+    #: ledger total the moment the generator confirmed its first
+    #: significant region (None = no region was ever confirmed)
+    evals_to_first_region: int | None = None
+
+    @property
+    def total_spent(self) -> int:
+        return self.ledger.spent
+
+    @property
+    def pruned_fraction(self) -> float:
+        if self.domain_volume <= 0:
+            return 0.0
+        return min(1.0, self.pruned_volume / self.domain_volume)
+
+    def note_region_found(self) -> None:
+        """Record the spend-to-first-region marker (first call wins)."""
+        if self.evals_to_first_region is None:
+            self.evals_to_first_region = self.ledger.spent
+
+    def describe(self) -> str:
+        parts = [
+            f"search policy {self.policy!r}: {self.total_spent} oracle "
+            f"calls"
+            + (f" of {self.budget} budgeted" if self.budget else ""),
+        ]
+        if self.rounds:
+            parts.append(
+                f"  {len(self.rounds)} bandit rounds, best gap "
+                f"{self.best_gap:.4g}, pruned "
+                f"{100.0 * self.pruned_fraction:.1f}% of the input volume"
+            )
+        if self.evals_to_first_region is not None:
+            parts.append(
+                f"  first region confirmed after "
+                f"{self.evals_to_first_region} search evaluations"
+            )
+        return "\n".join(parts)
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe form; round-trips through :meth:`from_dict`."""
+        return {
+            "policy": self.policy,
+            "budget": self.budget,
+            "rounds_planned": int(self.rounds_planned),
+            "rounds": [r.to_dict() for r in self.rounds],
+            "ledger": self.ledger.to_dict(),
+            "pruned_volume": float(self.pruned_volume),
+            "domain_volume": float(self.domain_volume),
+            "best_gap": float(self.best_gap),
+            "evals_to_first_region": self.evals_to_first_region,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "SearchTrace":
+        return SearchTrace(
+            policy=str(data["policy"]),
+            budget=data.get("budget"),
+            rounds_planned=int(data.get("rounds_planned", 0)),
+            rounds=[SearchRound.from_dict(r) for r in data.get("rounds", [])],
+            ledger=BudgetLedger.from_dict(data.get("ledger", {})),
+            pruned_volume=float(data.get("pruned_volume", 0.0)),
+            domain_volume=float(data.get("domain_volume", 0.0)),
+            best_gap=float(data.get("best_gap", 0.0)),
+            evals_to_first_region=data.get("evals_to_first_region"),
+        )

@@ -11,6 +11,8 @@ Endpoints (all JSON):
   states, and (once done) its aggregate report;
 * ``GET  /runs``                 — all stored runs;
 * ``GET  /runs/<id>/report``     — one completed unit's full report;
+* ``GET  /runs/<id>/search``     — that unit's search block (policy,
+  budget, ledger, the per-round :class:`~repro.search.trace.SearchTrace`);
 * ``GET  /domains``              — the registered domain plugins (what a
   submitted spec's ``{"domain": ...}`` problem blocks may name);
 * ``GET  /healthz``              — liveness (also checks the store);
@@ -93,6 +95,12 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     self._error(404, f"no completed run {parts[1]!r}")
                 else:
                     self._send(200, report)
+            elif len(parts) == 3 and parts[0] == "runs" and parts[2] == "search":
+                search = self.service.run_search(parts[1])
+                if search is None:
+                    self._error(404, f"no completed run {parts[1]!r}")
+                else:
+                    self._send(200, {"run_id": parts[1], "search": search})
             else:
                 self._error(404, f"unknown path {self.path!r}")
         except Exception as exc:  # noqa: BLE001 - one request, one error

@@ -164,6 +164,26 @@ class AnalysisService:
     def run_report(self, run_id: str) -> dict | None:
         return self.store.completed_report(run_id)
 
+    def run_search(self, run_id: str) -> dict | None:
+        """One completed run's ``"search"`` block (policy, budget, trace).
+
+        None when the run is missing/incomplete; reports persisted
+        before the search subsystem existed serve an explicit
+        ``{"policy": None, ...}`` placeholder rather than a 404, so
+        pollers can distinguish "no such run" from "pre-search run".
+        """
+        report = self.store.completed_report(run_id)
+        if report is None:
+            return None
+        return report.get("search") or {
+            "policy": None,
+            "budget": None,
+            "rounds": None,
+            "oracle_calls": 0,
+            "evals_to_first_region": None,
+            "trace": None,
+        }
+
     # -- the worker ---------------------------------------------------------
     def _worker(self) -> None:
         while not self._stop.is_set():

@@ -63,6 +63,20 @@ def solve_scipy(model: Model, time_limit: float | None = None) -> Solution:
             integrality=mf.integrality,
             options=options,
         )
+        if result.status == 2:
+            # HiGHS's MILP presolve occasionally declares feasible models
+            # infeasible (observed on VBP assignment models with chained
+            # symmetry-breaking rows; scipy 1.17 / HiGHS status 8). A
+            # false "infeasible" crashes the gap oracle, so confirm the
+            # verdict once with presolve off — genuinely infeasible
+            # models are rare here and the re-solve is cheap.
+            result = optimize.milp(
+                c=mf.c,
+                constraints=constraints,
+                bounds=optimize.Bounds(bounds_lb, bounds_ub),
+                integrality=mf.integrality,
+                options={**options, "presolve": False},
+            )
         status = _status_from_milp(result.status)
         stats = SolveStats(
             nodes=int(getattr(result, "mip_node_count", 0) or 0),

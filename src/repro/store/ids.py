@@ -20,7 +20,8 @@ import json
 #: bump when the per-unit report schema changes shape: old stored runs
 #: then stop resolving (they describe a different report) instead of
 #: being replayed with missing/renamed fields
-REPORT_SCHEMA_VERSION = 1
+#: (2: reports gained the "search" block + oracle_calls counter)
+REPORT_SCHEMA_VERSION = 2
 
 #: config keys that cannot affect a unit's deterministic output:
 #: store_path is forced to None and executor/workers to serial/1 inside

@@ -287,6 +287,20 @@ class RunStore:
             if s.get("explanation") is not None
         ]
 
+    def run_search_trace(self, run_id: str):
+        """The stored run's search audit log as a `SearchTrace`.
+
+        Returns None for reports persisted before the search subsystem
+        existed (their ``"search"`` block is absent).
+        """
+        from repro.search.trace import SearchTrace
+
+        report = self.completed_report(run_id)
+        if report is None:
+            raise AnalyzerError(f"no completed run {run_id!r} in store")
+        trace = (report.get("search") or {}).get("trace")
+        return None if trace is None else SearchTrace.from_dict(trace)
+
     # -- retention ----------------------------------------------------------
     def gc(self, keep: int) -> dict:
         """Drop all but the ``keep`` most recently updated *finished*

@@ -24,7 +24,6 @@ from repro.subspace.region import Box, Halfspace, Region
 from repro.subspace.sampler import (
     SampleSet,
     collect_outside,
-    sample_in_box,
 )
 from repro.subspace.significance import (
     ALPHA,
@@ -106,6 +105,10 @@ class GeneratorReport:
     #: gap-oracle work this run cost (cache hits, batch sizes, warm/cold LP
     #: solves); ``None`` only for reports built by hand
     oracle_stats: "object | None" = None
+    #: the search policy's audit log (:class:`repro.search.trace.
+    #: SearchTrace`): per-round cell scores, the budget ledger, pruned
+    #: volume, evals-to-first-region. ``None`` only for hand-built reports
+    search_trace: "object | None" = None
 
     @property
     def regions(self) -> list[Region]:
@@ -124,11 +127,23 @@ class AdversarialSubspaceGenerator:
         problem: AnalyzedProblem,
         analyzer,
         config: GeneratorConfig | None = None,
+        policy=None,
     ) -> None:
-        """``analyzer`` needs ``find_adversarial(excluded=..., min_gap=...)``."""
+        """``analyzer`` needs ``find_adversarial(excluded=..., min_gap=...)``.
+
+        ``policy`` is the run's :class:`~repro.search.policy.SearchPolicy`;
+        the generator routes its tree-sample draws through it and logs
+        onto its trace. ``None`` builds a fresh uniform policy — the
+        exact legacy sampling behavior.
+        """
         self.problem = problem
         self.analyzer = analyzer
         self.config = config or GeneratorConfig()
+        if policy is None:
+            from repro.search.policy import UniformPolicy
+
+            policy = UniformPolicy(seed=self.config.seed)
+        self.policy = policy
 
     def run(self) -> GeneratorReport:
         config = self.config
@@ -160,6 +175,7 @@ class AdversarialSubspaceGenerator:
             subspace = self._grow_and_refine(example, threshold, rng)
             if subspace.significant:
                 report.subspaces.append(subspace)
+                self.policy.trace.note_region_found()
                 excluded.append(subspace.region.box)
             else:
                 report.rejected.append(subspace)
@@ -177,6 +193,11 @@ class AdversarialSubspaceGenerator:
         report.oracle_stats = (
             self.problem.oracle.stats_snapshot() - oracle_before
         )
+        # Search spending comes from the shared ledger, so the counter
+        # means the same thing on the black-box and DSL analyzer paths.
+        report.oracle_stats.oracle_calls = self.policy.ledger.spent
+        self.policy.trace.domain_volume = self.problem.input_box.volume()
+        report.search_trace = self.policy.trace
         return report
 
     def _signature(self, box: Box) -> tuple:
@@ -211,8 +232,13 @@ class AdversarialSubspaceGenerator:
             bounds.widths * self.config.expansion.initial_halfwidth_fraction * 2.0,
             bounds=bounds,
         )
-        probe = sample_in_box(
-            self.problem, cube, self.config.tree_extra_samples // 2, threshold, rng
+        probe = self.policy.sample_region(
+            self.problem,
+            cube,
+            self.config.tree_extra_samples // 2,
+            threshold,
+            rng,
+            stage="recenter",
         )
         bad = probe.bad_points()
         if len(bad) == 0:
@@ -249,8 +275,13 @@ class AdversarialSubspaceGenerator:
         samples = expansion.samples.merged_with(probe_samples)
         if config.tree_extra_samples > 0:
             samples = samples.merged_with(
-                sample_in_box(
-                    problem, rough_box, config.tree_extra_samples, threshold, rng
+                self.policy.sample_region(
+                    problem,
+                    rough_box,
+                    config.tree_extra_samples,
+                    threshold,
+                    rng,
+                    stage="tree",
                 )
             )
 

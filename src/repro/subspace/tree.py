@@ -178,6 +178,19 @@ class RegressionTree:
     def leaf_prediction(self, x: np.ndarray) -> float:
         return self.predict_one(x)
 
+    def root_split(self) -> tuple[int, float] | None:
+        """The fitted root's ``(feature, threshold)``, or None for a stump.
+
+        The adaptive search engine (:mod:`repro.search`) refines a
+        promising cell by cutting it at the single best variance-reduction
+        split of the cell's own samples — exactly the root split a
+        depth-1 fit finds.
+        """
+        root = self._require_fit()
+        if root.is_leaf:
+            return None
+        return root.feature, float(root.threshold)
+
     def depth(self) -> int:
         def walk(node: _Node | None) -> int:
             if node is None or node.is_leaf:

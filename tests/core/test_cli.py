@@ -44,6 +44,51 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["frobnicate"])
 
+    def test_every_analyze_subcommand_accepts_search_flags(self):
+        from repro.domains.registry import registry
+
+        domains = [p.name for p in registry()]
+        legacy = [cmd for p in registry() for cmd in p.legacy_cli]
+        for argv in [["analyze", d] for d in domains] + [[c] for c in legacy]:
+            args = build_parser().parse_args(
+                argv + ["--search", "bandit", "--search-budget", "512",
+                        "--search-rounds", "6"]
+            )
+            assert args.search == "bandit"
+            assert args.search_budget == 512
+            assert args.search_rounds == 6
+
+    def test_search_flags_default_to_unset(self):
+        args = build_parser().parse_args(["analyze", "caching"])
+        assert args.search is None
+        assert args.search_budget is None
+        assert args.search_rounds is None
+
+    def test_search_policy_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["analyze", "caching", "--search", "genetic"]
+            )
+
+    def test_search_flags_reach_the_config(self):
+        from repro.cli import _pipeline_config
+
+        args = build_parser().parse_args(
+            ["analyze", "caching", "--search", "hybrid",
+             "--search-budget", "256"]
+        )
+        config = _pipeline_config(args)
+        assert config.search == "hybrid"
+        assert config.search_budget == 256
+        assert config.search_rounds == 8  # untouched default
+
+    def test_unset_search_flags_leave_plugin_defaults(self):
+        from repro.cli import _pipeline_config
+
+        args = build_parser().parse_args(["analyze", "caching"])
+        config = _pipeline_config(args, {"search": "bandit"})
+        assert config.search == "bandit"  # plugin override survives
+
     def test_every_subcommand_accepts_workers(self):
         for argv in (
             ["dp"], ["vbp"], ["sched"], ["fig1a"], ["encode"],

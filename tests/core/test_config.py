@@ -88,3 +88,37 @@ class TestStoreKnobs:
         assert config.store_path == "/tmp/store"
         assert config.store_retention == 3
         assert config.cache_max_entries == 64
+
+
+class TestSearchKnobs:
+    def test_defaults(self):
+        config = XPlainConfig()
+        assert config.search == "uniform"
+        assert config.search_budget == 4096
+        assert config.search_rounds == 8
+
+    def test_unknown_search_policy(self):
+        with pytest.raises(AnalyzerError, match="unknown search policy"):
+            XPlainConfig(search="genetic")
+
+    def test_error_lists_policies(self):
+        with pytest.raises(AnalyzerError, match="bandit"):
+            XPlainConfig(search="bogus")
+
+    def test_search_budget_must_be_positive_int(self):
+        with pytest.raises(AnalyzerError, match="search_budget"):
+            XPlainConfig(search_budget=0)
+        with pytest.raises(AnalyzerError, match="search_budget"):
+            XPlainConfig(search_budget=2.5)
+
+    def test_search_rounds_must_be_positive_int(self):
+        with pytest.raises(AnalyzerError, match="search_rounds"):
+            XPlainConfig(search_rounds=0)
+        with pytest.raises(AnalyzerError, match="search_rounds"):
+            XPlainConfig(search_rounds="many")
+
+    def test_valid_search_config_accepted(self):
+        config = XPlainConfig(search="hybrid", search_budget=256, search_rounds=4)
+        assert config.search == "hybrid"
+        assert config.search_budget == 256
+        assert config.search_rounds == 4

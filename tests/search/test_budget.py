@@ -1,0 +1,85 @@
+"""The budget ledger: limits, stage accounting, serialization."""
+
+import pytest
+
+from repro.exceptions import SearchError
+from repro.search import BudgetLedger
+
+
+class TestLedgerBasics:
+    def test_unlimited_by_default(self):
+        ledger = BudgetLedger()
+        assert ledger.limit is None
+        assert ledger.remaining() is None
+        assert not ledger.exhausted
+
+    def test_charge_accumulates_per_stage(self):
+        ledger = BudgetLedger()
+        ledger.charge(10, "tree")
+        ledger.charge(5, "tree")
+        ledger.charge(3, "analyzer")
+        assert ledger.spent == 18
+        assert ledger.stage_spent("tree") == 15
+        assert ledger.stage_spent("analyzer") == 3
+        assert ledger.stage_spent("unknown") == 0
+
+    def test_charge_zero_is_free(self):
+        ledger = BudgetLedger()
+        ledger.charge(0, "tree")
+        assert ledger.spent == 0
+        assert ledger.stages == {}
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(SearchError, match="cannot charge"):
+            BudgetLedger().charge(-1, "tree")
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(SearchError, match="budget limit"):
+            BudgetLedger(limit=0)
+        with pytest.raises(SearchError, match="budget limit"):
+            BudgetLedger(limit=2.5)
+
+
+class TestLimitedLedger:
+    def test_take_clips_to_remaining(self):
+        ledger = BudgetLedger(limit=10)
+        assert ledger.take(6, "a") == 6
+        assert ledger.remaining() == 4
+        assert ledger.take(6, "a") == 4  # clipped
+        assert ledger.exhausted
+        assert ledger.take(1, "a") == 0
+
+    def test_take_unlimited_grants_everything(self):
+        ledger = BudgetLedger()
+        assert ledger.take(1000, "a") == 1000
+        assert ledger.take(0, "a") == 0
+
+    def test_charge_records_overdraw_faithfully(self):
+        # charge() never clips: the caller already evaluated the points.
+        ledger = BudgetLedger(limit=5)
+        ledger.charge(8, "a")
+        assert ledger.spent == 8
+        assert ledger.remaining() == 0
+        assert ledger.exhausted
+
+
+class TestLedgerSerialization:
+    def test_round_trip(self):
+        ledger = BudgetLedger(limit=64)
+        ledger.charge(10, "tree")
+        ledger.charge(7, "analyzer")
+        data = ledger.to_dict()
+        back = BudgetLedger.from_dict(data)
+        assert back.to_dict() == data
+        assert back.limit == 64
+        assert back.spent == 17
+        assert back.stage_spent("tree") == 10
+
+    def test_dict_is_json_safe_and_sorted(self):
+        import json
+
+        ledger = BudgetLedger()
+        ledger.charge(2, "zeta")
+        ledger.charge(1, "alpha")
+        data = json.loads(json.dumps(ledger.to_dict()))
+        assert list(data["stages"]) == ["alpha", "zeta"]

@@ -1,0 +1,188 @@
+"""Cell tree and bandit engine: splits, pruning, budgets, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.parallel._testing import band_problem
+from repro.search import AdaptiveSearchEngine, BudgetLedger, Cell, SearchTrace
+from repro.search.cells import covered_by_any
+from repro.subspace.region import Box
+
+
+def make_cell(box=None, seed=3, index=0):
+    return Cell(
+        cell_id="0",
+        index=index,
+        box=box or Box.from_arrays(np.zeros(2), np.ones(2)),
+        depth=0,
+        seed=seed,
+    )
+
+
+class TestCell:
+    def test_fresh_cell_is_empty(self):
+        cell = make_cell()
+        assert cell.evals == 0
+        assert cell.mean_gap == 0.0
+        assert cell.max_gap == 0.0
+
+    def test_absorb_updates_stats(self):
+        cell = make_cell()
+        cell.absorb(np.array([[0.1, 0.2], [0.8, 0.9]]), np.array([1.0, 3.0]))
+        assert cell.evals == 2
+        assert cell.mean_gap == 2.0
+        assert cell.max_gap == 3.0
+
+    def test_draw_is_deterministic_per_cell(self):
+        a = make_cell(seed=9).draw(5)
+        b = make_cell(seed=9).draw(5)
+        assert np.array_equal(a, b)
+        c = make_cell(seed=10).draw(5)
+        assert not np.array_equal(a, c)
+
+    def test_split_midpoint_fallback_without_samples(self):
+        box = Box.from_arrays(np.array([0.0, 0.0]), np.array([4.0, 1.0]))
+        cell = make_cell(box=box)
+        dim, threshold = cell.split_plan()
+        assert dim == 0  # widest side
+        assert threshold == pytest.approx(2.0)
+
+    def test_split_uses_cart_cut_when_signal_exists(self):
+        # Gap depends only on x0 > 0.5: the CART root split must cut x0
+        # near 0.5, not the midpoint of the widest (x1) side.
+        box = Box.from_arrays(np.array([0.0, 0.0]), np.array([1.0, 5.0]))
+        cell = make_cell(box=box)
+        rng = np.random.default_rng(0)
+        points = np.column_stack([rng.uniform(0, 1, 200), rng.uniform(0, 5, 200)])
+        cell.absorb(points, (points[:, 0] > 0.5).astype(float))
+        dim, threshold = cell.split_plan()
+        assert dim == 0
+        assert 0.3 < threshold < 0.7
+
+    def test_split_children_partition_samples(self):
+        cell = make_cell()
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 1, size=(40, 2))
+        cell.absorb(points, points[:, 0])
+        left, right = cell.split(next_index=1)
+        assert cell.status == "split"
+        assert left.evals + right.evals == 40
+        assert left.box.hi[0] == right.box.lo[0] or left.box.hi[1] == right.box.lo[1]
+        # Every inherited sample lies in its child's box.
+        assert left.box.contains_many(left.points).all()
+        assert right.box.contains_many(right.points).all()
+
+    def test_covered_by_any(self):
+        small = Box.from_arrays(np.array([0.2, 0.2]), np.array([0.4, 0.4]))
+        big = Box.from_arrays(np.zeros(2), np.ones(2))
+        assert covered_by_any(small, [big])
+        assert not covered_by_any(big, [small])
+        assert not covered_by_any(big, [])
+
+
+def run_engine(budget=400, rounds=20, seed=11, trace=None, **kw):
+    problem = band_problem(dim=2, lo=0.6, hi=0.9)
+    ledger = BudgetLedger(limit=budget)
+    engine = AdaptiveSearchEngine(
+        problem,
+        problem.input_box,
+        threshold=0.5,
+        ledger=ledger,
+        budget=budget,
+        rounds=rounds,
+        seed=seed,
+        trace=trace,
+        **kw,
+    )
+    return engine.run(), ledger
+
+
+class TestEngine:
+    def test_finds_the_band(self):
+        result, _ = run_engine()
+        assert result.best_x is not None
+        assert 0.6 <= result.best_x[0] <= 0.9
+        assert result.best_gap >= 1.0
+
+    def test_respects_budget_exactly(self):
+        result, ledger = run_engine(budget=200)
+        assert result.spent <= 200
+        assert ledger.spent == result.spent
+        assert result.samples.size == result.spent
+
+    def test_deterministic_per_seed(self):
+        a, _ = run_engine(seed=5)
+        b, _ = run_engine(seed=5)
+        assert np.array_equal(a.samples.points, b.samples.points)
+        assert np.array_equal(a.samples.gaps, b.samples.gaps)
+        assert np.array_equal(a.best_x, b.best_x)
+        c, _ = run_engine(seed=6)
+        assert not np.array_equal(a.samples.points, c.samples.points)
+
+    def test_prunes_hopeless_volume(self):
+        trace = SearchTrace(policy="bandit", budget=600)
+        run_engine(budget=600, rounds=30, trace=trace)
+        assert trace.pruned_volume > 0
+        assert len(trace.rounds) > 1
+        assert trace.best_gap >= 1.0
+
+    def test_exclusions_are_respected(self):
+        # Exclude the whole band: no admissible point may come from it.
+        band = Box.from_arrays(np.array([0.6, 0.0]), np.array([0.9, 1.0]))
+        result, _ = run_engine(excluded=[band])
+        assert result.samples.size > 0
+        assert not band.contains_many(result.samples.points).any()
+
+    def test_mostly_excluded_domain_keeps_hunting(self):
+        # 99% of the box is excluded but the root cell is not *fully*
+        # covered: rounds whose proposals all land in the exclusion must
+        # be retried with fresh draws, not treated as exhaustion.
+        problem = band_problem(dim=2, lo=0.992, hi=1.0)
+        most = Box.from_arrays(np.zeros(2), np.array([0.99, 1.0]))
+        ledger = BudgetLedger(limit=2000)
+        engine = AdaptiveSearchEngine(
+            problem,
+            problem.input_box,
+            threshold=0.5,
+            ledger=ledger,
+            budget=2000,
+            rounds=100,
+            seed=2,
+            excluded=[most],
+        )
+        result = engine.run()
+        assert result.best_x is not None
+        assert result.best_x[0] > 0.99
+        assert result.best_gap >= 1.0
+
+    def test_fully_excluded_domain_returns_nothing(self):
+        everything = Box.from_arrays(np.zeros(2), np.ones(2))
+        result, ledger = run_engine(excluded=[everything])
+        assert result.best_x is None
+        assert result.samples.size == 0
+        assert ledger.spent == 0
+
+    def test_target_hits_counts_cumulatively(self):
+        # The band covers 30% of the box: 40 hits need > one round but
+        # must be reached well before a 400-point budget is gone.
+        result, _ = run_engine(target_gap=1.0, target_hits=40)
+        assert result.evals_to_target is not None
+        assert 40 <= result.evals_to_target < 400
+        # Early stop: the engine quits once the target is reached.
+        assert result.spent < 400
+
+    def test_shared_ledger_clips_across_engines(self):
+        problem = band_problem(dim=2)
+        ledger = BudgetLedger(limit=100)
+        for _ in range(3):
+            engine = AdaptiveSearchEngine(
+                problem,
+                problem.input_box,
+                threshold=0.5,
+                ledger=ledger,
+                budget=80,
+                rounds=4,
+                seed=1,
+            )
+            engine.run()
+        assert ledger.spent <= 100

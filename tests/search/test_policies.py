@@ -1,0 +1,173 @@
+"""Search policies: uniform pass-through exactness, bandit, hybrid."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SearchError
+from repro.parallel._testing import band_problem
+from repro.search import (
+    SEARCH_POLICIES,
+    BanditPolicy,
+    HybridPolicy,
+    SearchTrace,
+    UniformPolicy,
+    make_policy,
+)
+from repro.subspace.region import Box
+from repro.subspace.sampler import sample_in_box
+
+
+def test_blackbox_stage_constant_matches_budget_module():
+    """blackbox.py re-spells STAGE_ANALYZER (module-level import would
+    be cyclic through repro.analyzer.__init__); a rename on either side
+    must fail here, not silently split the per-stage ledger."""
+    from repro.analyzer import blackbox
+    from repro.search import budget
+
+    assert blackbox.STAGE_ANALYZER == budget.STAGE_ANALYZER
+
+
+class TestMakePolicy:
+    @pytest.mark.parametrize("name", SEARCH_POLICIES)
+    def test_known_policies(self, name):
+        policy = make_policy(name, budget=128, rounds=4, seed=1)
+        assert policy.name == name
+        assert policy.trace.policy == name
+
+    def test_unknown_policy(self):
+        with pytest.raises(SearchError, match="unknown search policy"):
+            make_policy("genetic", budget=128, rounds=4)
+
+    def test_adaptive_flags(self):
+        assert not make_policy("uniform", budget=1, rounds=1).adaptive
+        assert make_policy("bandit", budget=1, rounds=1).adaptive
+        assert make_policy("hybrid", budget=1, rounds=1).adaptive
+
+
+class TestUniformPolicy:
+    def test_sample_region_is_exactly_sample_in_box(self):
+        """The uniform policy must not perturb the legacy random stream."""
+        problem = band_problem(dim=2)
+        box = Box.from_arrays(np.array([0.2, 0.2]), np.array([0.8, 0.8]))
+        direct = sample_in_box(problem, box, 50, 0.5, np.random.default_rng(42))
+        policy = UniformPolicy(seed=0)
+        routed = policy.sample_region(
+            problem, box, 50, 0.5, np.random.default_rng(42), stage="tree"
+        )
+        assert np.array_equal(direct.points, routed.points)
+        assert np.array_equal(direct.gaps, routed.gaps)
+
+    def test_ledger_tracks_but_never_clips(self):
+        problem = band_problem(dim=2)
+        box = problem.input_box
+        policy = UniformPolicy(seed=0)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            samples = policy.sample_region(problem, box, 40, 0.5, rng, "tree")
+            assert samples.size == 40  # no limit, ever
+        assert policy.ledger.limit is None
+        assert policy.ledger.spent == 120
+        assert policy.ledger.stage_spent("tree") == 120
+
+    def test_zero_count_charges_nothing(self):
+        problem = band_problem(dim=2)
+        policy = UniformPolicy()
+        samples = policy.sample_region(
+            problem, problem.input_box, 0, 0.5, np.random.default_rng(0), "tree"
+        )
+        assert samples.size == 0
+        assert policy.ledger.spent == 0
+
+    def test_seed_search_is_not_adaptive(self):
+        policy = UniformPolicy()
+        with pytest.raises(SearchError, match="no adaptive seed search"):
+            policy.seed_search(band_problem(), 0.0, [], 100)
+
+
+class TestBanditPolicy:
+    def test_sample_region_charges_and_returns_samples(self):
+        problem = band_problem(dim=2)
+        policy = BanditPolicy(budget=500, rounds=4, seed=3)
+        samples = policy.sample_region(
+            problem, problem.input_box, 200, 0.5, np.random.default_rng(0), "tree"
+        )
+        assert 0 < samples.size <= 200
+        assert policy.ledger.spent == samples.size
+        assert policy.trace.rounds  # the engine logged its rounds
+
+    def test_budget_exhaustion_returns_empty(self):
+        problem = band_problem(dim=2)
+        policy = BanditPolicy(budget=50, rounds=2, seed=3)
+        policy.ledger.charge(50, "tree")  # spend everything
+        samples = policy.sample_region(
+            problem, problem.input_box, 100, 0.5, np.random.default_rng(0), "tree"
+        )
+        assert samples.size == 0
+
+    def test_seed_search_finds_the_band(self):
+        problem = band_problem(dim=2, lo=0.6, hi=0.9)
+        policy = BanditPolicy(budget=600, rounds=8, seed=3)
+        x, gap = policy.seed_search(problem, min_gap=0.0, excluded=[], budget=400)
+        assert x is not None
+        assert 0.6 <= x[0] <= 0.9
+        assert gap >= 1.0
+        assert policy.ledger.stage_spent("analyzer") > 0
+
+    def test_seed_search_respects_exclusions(self):
+        problem = band_problem(dim=2, lo=0.6, hi=0.9)
+        band = Box.from_arrays(np.array([0.55, 0.0]), np.array([0.95, 1.0]))
+        policy = BanditPolicy(budget=600, rounds=8, seed=3)
+        x, gap = policy.seed_search(problem, min_gap=0.0, excluded=[band], budget=400)
+        assert x is None or not band.contains(x)
+
+    def test_calls_get_fresh_derived_streams(self):
+        problem = band_problem(dim=2)
+        policy = BanditPolicy(budget=10_000, rounds=4, seed=3)
+        first = policy.sample_region(
+            problem, problem.input_box, 100, 0.5, np.random.default_rng(0), "tree"
+        )
+        second = policy.sample_region(
+            problem, problem.input_box, 100, 0.5, np.random.default_rng(0), "tree"
+        )
+        assert not np.array_equal(first.points, second.points)
+
+
+class TestHybridPolicy:
+    def test_mixes_coverage_and_refinement(self):
+        problem = band_problem(dim=2)
+        policy = HybridPolicy(budget=1000, rounds=4, seed=3)
+        samples = policy.sample_region(
+            problem, problem.input_box, 200, 0.5, np.random.default_rng(0), "tree"
+        )
+        assert 100 <= samples.size <= 200
+        assert policy.ledger.spent == samples.size
+
+    def test_seed_search_returns_best_of_both(self):
+        problem = band_problem(dim=2, lo=0.6, hi=0.9)
+        policy = HybridPolicy(budget=800, rounds=8, seed=3)
+        x, gap = policy.seed_search(problem, min_gap=0.0, excluded=[], budget=400)
+        assert x is not None
+        assert gap >= 1.0
+
+
+class TestTraceRoundTrip:
+    def test_bandit_trace_round_trips(self):
+        problem = band_problem(dim=2)
+        policy = BanditPolicy(budget=400, rounds=6, seed=3)
+        policy.sample_region(
+            problem, problem.input_box, 300, 0.5, np.random.default_rng(0), "tree"
+        )
+        policy.trace.note_region_found()
+        data = policy.trace.to_dict()
+        back = SearchTrace.from_dict(data)
+        assert back.to_dict() == data
+        assert back.evals_to_first_region == policy.ledger.spent
+        assert back.ledger.spent == policy.ledger.spent
+
+    def test_note_region_found_first_call_wins(self):
+        trace = SearchTrace(policy="uniform")
+        trace.ledger.charge(10, "tree")
+        trace.note_region_found()
+        trace.ledger.charge(10, "tree")
+        trace.note_region_found()
+        assert trace.evals_to_first_region == 10

@@ -1,0 +1,134 @@
+"""Sampler edge cases: zero-volume boxes, empty regions, DKW extremes."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SubspaceError
+from repro.parallel._testing import band_problem
+from repro.subspace.region import Box, Halfspace, Region
+from repro.subspace.sampler import (
+    SampleSet,
+    collect_outside,
+    dkw_sample_size,
+    sample_in_box,
+    sample_in_boxes,
+)
+
+
+class TestZeroVolumeBoxes:
+    def test_degenerate_box_is_legal(self):
+        box = Box.from_arrays(np.array([0.5, 0.5]), np.array([0.5, 0.5]))
+        assert box.volume() == 0.0
+        assert box.contains(np.array([0.5, 0.5]))
+
+    def test_sampling_a_point_box_returns_the_point(self):
+        box = Box.from_arrays(np.array([0.3, 0.7]), np.array([0.3, 0.7]))
+        points = box.sample(np.random.default_rng(0), 8)
+        assert points.shape == (8, 2)
+        assert np.allclose(points, [0.3, 0.7])
+
+    def test_sample_in_box_evaluates_degenerate_boxes(self):
+        problem = band_problem(dim=2, lo=0.6, hi=0.9)
+        box = Box.from_arrays(np.array([0.7, 0.5]), np.array([0.7, 0.5]))
+        samples = sample_in_box(
+            problem, box, 5, 0.5, np.random.default_rng(0)
+        )
+        assert samples.size == 5
+        assert samples.bad_density == 1.0  # x0=0.7 sits inside the band
+
+    def test_partially_flat_box_samples_on_the_face(self):
+        box = Box.from_arrays(np.array([0.0, 0.4]), np.array([1.0, 0.4]))
+        points = box.sample(np.random.default_rng(0), 16)
+        assert np.allclose(points[:, 1], 0.4)
+        assert np.ptp(points[:, 0]) > 0
+
+    def test_sample_in_boxes_mixes_degenerate_and_regular(self):
+        problem = band_problem(dim=2)
+        flat = Box.from_arrays(np.array([0.7, 0.2]), np.array([0.7, 0.2]))
+        regular = Box.from_arrays(np.zeros(2), np.ones(2))
+        sets = sample_in_boxes(
+            problem, [flat, regular], 6, 0.5, np.random.default_rng(0)
+        )
+        assert [s.size for s in sets] == [6, 6]
+        assert np.allclose(sets[0].points, [0.7, 0.2])
+
+    def test_collect_outside_zero_volume_outer_raises(self):
+        # Outer is a single point inside the inner region: nothing is
+        # ever admissible, which must fail loudly, not loop forever.
+        inner = Box.from_arrays(np.zeros(2), np.ones(2))
+        outer = Box.from_arrays(np.array([0.5, 0.5]), np.array([0.5, 0.5]))
+        with pytest.raises(SubspaceError, match="could not sample outside"):
+            collect_outside(inner, outer, 4, np.random.default_rng(0))
+
+
+class TestRestrictedToEmptyRegions:
+    def _samples(self, n=20):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(n, 2))
+        return SampleSet(points, points[:, 0], 0.5)
+
+    def test_restricted_to_disjoint_box_is_empty(self):
+        empty = self._samples().restricted_to(
+            Box.from_arrays(np.array([5.0, 5.0]), np.array([6.0, 6.0]))
+        )
+        assert empty.size == 0
+        assert empty.bad_count == 0
+        assert empty.bad_density == 0.0
+        assert empty.bad_points().shape[0] == 0
+
+    def test_restricted_to_infeasible_region_is_empty(self):
+        # Halfspaces exclude the whole box: x0 <= -1 never holds.
+        region = Region(
+            box=Box.from_arrays(np.zeros(2), np.ones(2)),
+            halfspaces=[Halfspace((1.0, 0.0), -1.0)],
+        )
+        empty = self._samples().restricted_to(region)
+        assert empty.size == 0
+
+    def test_empty_set_restricts_to_empty(self):
+        base = SampleSet(np.zeros((0, 2)), np.zeros(0), 0.5)
+        still_empty = base.restricted_to(
+            Box.from_arrays(np.zeros(2), np.ones(2))
+        )
+        assert still_empty.size == 0
+
+    def test_empty_merge_identities(self):
+        base = self._samples()
+        empty = SampleSet(np.zeros((0, 2)), np.zeros(0), 0.5)
+        assert base.merged_with(empty) is base
+        assert empty.merged_with(base) is base
+
+    def test_sampling_an_infeasible_region_raises(self):
+        region = Region(
+            box=Box.from_arrays(np.zeros(2), np.ones(2)),
+            halfspaces=[Halfspace((1.0, 0.0), -1.0)],
+        )
+        with pytest.raises(SubspaceError, match="rejection sampling failed"):
+            region.sample(np.random.default_rng(0), 4, max_tries=5)
+
+
+class TestDkwExtremes:
+    def test_moderate_values(self):
+        # ln(2/0.05) / (2 * 0.1^2) = 184.44... -> 185
+        assert dkw_sample_size(0.1, 0.05) == 185
+
+    def test_tiny_epsilon_explodes_quadratically(self):
+        n_coarse = dkw_sample_size(1e-2, 0.05)
+        n_fine = dkw_sample_size(1e-3, 0.05)
+        assert n_fine == pytest.approx(n_coarse * 100, rel=1e-3)
+        assert n_fine > 1_000_000
+
+    def test_tiny_delta_grows_only_logarithmically(self):
+        n = dkw_sample_size(0.1, 1e-12)
+        assert n == int(np.ceil(np.log(2e12) / 0.02))
+
+    def test_near_one_epsilon_needs_at_least_one_sample(self):
+        assert dkw_sample_size(0.999, 0.999) >= 1
+
+    @pytest.mark.parametrize(
+        "epsilon,delta",
+        [(0.0, 0.5), (1.0, 0.5), (0.5, 0.0), (0.5, 1.0), (-0.1, 0.5), (0.5, -0.1)],
+    )
+    def test_out_of_range_rejected(self, epsilon, delta):
+        with pytest.raises(SubspaceError, match="DKW needs"):
+            dkw_sample_size(epsilon, delta)
