@@ -14,7 +14,7 @@ from repro.subspace.generator import GeneratorConfig
 ANALYZERS = ("auto", "metaopt", "blackbox")
 BACKENDS = ("auto", "scipy", "simplex")
 BLACKBOX_STRATEGIES = ("random", "hillclimb", "anneal")
-EXECUTORS = ("serial", "process")
+EXECUTORS = ("serial", "process", "fabric")
 # SEARCH_POLICIES is defined next to the policies themselves
 # (repro.search.policy) and re-exported here for config consumers.
 

@@ -57,6 +57,40 @@ class SearchError(ReproError):
     """The adaptive gap-search subsystem was misconfigured or overdrawn."""
 
 
+class FabricError(ReproError):
+    """The fault-tolerant analysis fabric hit an unrecoverable condition
+    (a unit quarantined after exhausting its retries, a misconfigured
+    queue, a dead fleet with inline fallback disabled)."""
+
+
+class CampaignInterrupted(ReproError):
+    """A campaign was stopped cooperatively at a unit boundary.
+
+    Raised by :func:`repro.parallel.campaign.run_campaign` when its
+    ``should_stop`` callback fires: every completed unit has already
+    been persisted and the campaign's store row is back to ``pending``,
+    so a later run (or a restarted service) resumes exactly where this
+    one stopped.
+    """
+
+    def __init__(self, campaign_id: str, completed: int, total: int) -> None:
+        self.campaign_id = campaign_id
+        self.completed = completed
+        self.total = total
+        super().__init__(
+            f"campaign {campaign_id!r} interrupted after "
+            f"{completed}/{total} units (completed work is persisted)"
+        )
+
+
+class ServiceBusy(ReproError):
+    """The analysis service's submission queue is at capacity.
+
+    The HTTP layer maps this to ``429 Too Many Requests`` — the
+    backpressure face of a bounded submit queue.
+    """
+
+
 class ExplainError(ReproError):
     """The explainer could not score or render a subspace."""
 

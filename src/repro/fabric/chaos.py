@@ -1,0 +1,264 @@
+"""Deterministic fault injection for the analysis fabric.
+
+A :class:`ChaosPlan` is a JSON file of :class:`ChaosRule` entries; the
+supervisor exports its path through the ``XPLAIN_CHAOS`` environment
+variable and every worker consults it at fixed points of its
+claim-execute-commit loop. Faults are *planned*, never random at
+runtime — a test seeds an RNG, picks its victim worker and unit index,
+writes the plan, and the same plan reproduces the same failure forever.
+
+Actions (all fire when ``worker`` and ``unit_index`` match a claim):
+
+* ``kill``                — ``os._exit`` immediately after claiming
+  (the classic ``kill -9`` mid-unit: lease held, no result);
+* ``stall``               — sleep ``stall_seconds`` before executing,
+  heartbeats still running (a slow unit; the TTL bounds it);
+* ``drop_heartbeat``      — execute with heartbeats disabled, after
+  sleeping ``stall_seconds`` so the lease visibly expires mid-flight;
+* ``crash_before_commit`` — execute the unit fully, then die without
+  committing (work lost, must be redone);
+* ``crash_after_commit``  — commit the result, then die (work done,
+  worker lost; nothing may be redone *and recommitted*).
+
+:func:`run_chaos_matrix` drives the whole matrix for CI's
+``chaos-smoke`` job: one tiny campaign per registered domain, each
+fault injected in turn, every faulted run diffed bit-identically
+(``deterministic_view``) against the unfaulted baseline, with the
+exactly-once commit invariant checked from the queue's counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.exceptions import FabricError
+
+#: environment variable naming the active chaos plan file (worker side)
+CHAOS_ENV = "XPLAIN_CHAOS"
+
+#: distinct exit codes so a supervisor log can tell faults apart
+EXIT_KILLED = 41
+EXIT_BEFORE_COMMIT = 42
+EXIT_AFTER_COMMIT = 43
+
+ACTIONS = (
+    "kill",
+    "stall",
+    "drop_heartbeat",
+    "crash_before_commit",
+    "crash_after_commit",
+)
+
+
+@dataclass
+class ChaosRule:
+    """One planned fault: *this worker*, at *this claim*, does *this*."""
+
+    action: str
+    #: exact worker ID to afflict (None = every worker). Worker IDs
+    #: include their restart generation (``w0.g0``), so a rule written
+    #: for the first incarnation never re-fires on its replacement.
+    worker: str | None = None
+    #: 1-based index of the claim (per worker incarnation) to afflict;
+    #: None matches every claim
+    unit_index: int | None = None
+    stall_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise FabricError(
+                f"unknown chaos action {self.action!r}; "
+                f"expected one of {ACTIONS}"
+            )
+
+    def matches(self, worker_id: str, claim_index: int) -> bool:
+        if self.worker is not None and self.worker != worker_id:
+            return False
+        if self.unit_index is not None and self.unit_index != claim_index:
+            return False
+        return True
+
+
+@dataclass
+class ChaosPlan:
+    """A serializable list of planned faults."""
+
+    rules: list[ChaosRule] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"rules": [asdict(rule) for rule in self.rules]}
+
+    @staticmethod
+    def from_dict(data: dict) -> "ChaosPlan":
+        return ChaosPlan([ChaosRule(**rule) for rule in data.get("rules", [])])
+
+    def write(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True))
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> "ChaosPlan":
+        return ChaosPlan.from_dict(json.loads(Path(path).read_text()))
+
+
+class ChaosMonkey:
+    """Worker-side evaluator of the active plan (no-op without one)."""
+
+    def __init__(self, plan: ChaosPlan | None, worker_id: str) -> None:
+        self.plan = plan
+        self.worker_id = worker_id
+
+    @staticmethod
+    def from_env(worker_id: str) -> "ChaosMonkey":
+        path = os.environ.get(CHAOS_ENV)
+        plan = ChaosPlan.load(path) if path else None
+        return ChaosMonkey(plan, worker_id)
+
+    def rule_for(self, claim_index: int) -> ChaosRule | None:
+        if self.plan is None:
+            return None
+        for rule in self.plan.rules:
+            if rule.matches(self.worker_id, claim_index):
+                return rule
+        return None
+
+
+# ----------------------------------------------------------------------
+def run_chaos_matrix(
+    work_dir: str | Path,
+    domains: list[str] | None = None,
+    faults: tuple[str, ...] = ("kill", "stall", "drop_heartbeat"),
+    workers: int = 2,
+    seed: int = 0,
+    lease_seconds: float = 1.0,
+    unit_ttl: float = 20.0,
+) -> dict:
+    """The CI ``chaos-smoke`` matrix: every domain under every fault.
+
+    For each registered domain, runs its one-unit smoke campaign once
+    unfaulted (the baseline) and once per fault on a fresh fabric with a
+    seeded chaos plan, asserting convergence: the faulted campaign's
+    ``deterministic_view`` must equal the baseline's and every unit must
+    be committed exactly once. Returns the full report (per-run fabric
+    status included) for the job's artifact; raises
+    :class:`FabricError` on any divergence.
+    """
+    from repro.domains.registry import registry, smoke_campaign_spec
+    from repro.parallel.campaign import (
+        CampaignSpec,
+        deterministic_view,
+        run_campaign,
+    )
+
+    work_dir = Path(work_dir)
+    work_dir.mkdir(parents=True, exist_ok=True)
+    if domains is None:
+        domains = [plugin.name for plugin in registry().plugins()]
+    report: dict = {"seed": seed, "faults": list(faults), "domains": {}}
+    for domain in domains:
+        spec = CampaignSpec.from_dict(smoke_campaign_spec([domain]))
+        baseline = deterministic_view(run_campaign(spec, workers=1))
+        domain_report: dict = {"baseline_worst_gap": baseline["worst_gap"]}
+        for fault in faults:
+            status, identical = _run_faulted(
+                work_dir / f"{domain}-{fault}",
+                spec,
+                baseline,
+                fault,
+                # Smoke campaigns have one unit, so claim 1 is the only
+                # index that guarantees the fault fires; the seeded
+                # multi-unit kill-index variant lives in the chaos
+                # integration tests.
+                victim_claim=1,
+                workers=workers,
+                lease_seconds=lease_seconds,
+                unit_ttl=unit_ttl,
+            )
+            commits = status["counters"]["commits"]
+            done = status["units"]["done"]
+            domain_report[fault] = {
+                "identical": identical,
+                "retries": status["counters"]["retries"],
+                "lease_expiries": status["counters"]["lease_expiries"],
+                "late_commits": status["counters"]["late_commits"],
+                "commits": commits,
+                "fabric": status,
+            }
+            if not identical:
+                raise FabricError(
+                    f"{domain}/{fault}: faulted campaign diverged from the "
+                    "unfaulted baseline"
+                )
+            if commits != done:
+                raise FabricError(
+                    f"{domain}/{fault}: {commits} commits for {done} done "
+                    "units — a unit was committed more than once"
+                )
+        report["domains"][domain] = domain_report
+    return report
+
+
+def _run_faulted(
+    run_dir: Path,
+    spec,
+    baseline: dict,
+    fault: str,
+    victim_claim: int,
+    workers: int,
+    lease_seconds: float,
+    unit_ttl: float,
+) -> tuple[dict, bool]:
+    """One faulted campaign on a fresh fabric; returns (status, identical)."""
+    from repro.fabric.executor import FabricExecutor
+    from repro.fabric.queue import WorkQueue
+    from repro.fabric.supervisor import FabricSupervisor
+    from repro.parallel.campaign import deterministic_view, run_campaign
+    from repro.store import RunStore
+
+    run_dir.mkdir(parents=True, exist_ok=True)
+    stall = 3.0 * lease_seconds if fault in ("stall", "drop_heartbeat") else 0.0
+    # Stalls must outlive the TTL so the reaper demonstrably recovers
+    # the unit from a wedged-but-heartbeating worker.
+    ttl = min(unit_ttl, 2.0 * lease_seconds) if fault == "stall" else unit_ttl
+    # One rule per first-generation worker: whichever slot wins the race
+    # for the victim claim faults, so the fault always fires — and never
+    # re-fires, because restarted workers carry a new generation.
+    plan = ChaosPlan(
+        [
+            ChaosRule(
+                action=fault,
+                worker=f"w{slot}.g0",
+                unit_index=victim_claim,
+                stall_seconds=stall,
+            )
+            for slot in range(workers)
+        ]
+    )
+    plan_path = plan.write(run_dir / "chaos.json")
+    # Generous retry budget: under a tight stall TTL even honest claims
+    # of a slow unit can be reaped; the matrix asserts convergence and
+    # exactly-once commits, not a minimal attempt count.
+    queue = WorkQueue(
+        run_dir, unit_ttl=ttl, backoff_base=0.05, default_max_attempts=8
+    )
+    supervisor = FabricSupervisor(
+        run_dir,
+        workers=workers,
+        lease_seconds=lease_seconds,
+        unit_ttl=ttl,  # workers cap their own heartbeat renewals with it
+        chaos_path=plan_path,
+    )
+    supervisor.start()
+    try:
+        executor = FabricExecutor(queue, supervisor=supervisor)
+        result = run_campaign(
+            spec, store=RunStore(run_dir / "store"), executor=executor
+        )
+    finally:
+        supervisor.stop()
+    identical = deterministic_view(result) == baseline
+    return queue.status(), identical

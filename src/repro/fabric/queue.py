@@ -1,0 +1,658 @@
+"""The SQLite-backed lease queue at the heart of the analysis fabric.
+
+:class:`WorkQueue` is a broker without a broker process: one WAL-mode
+SQLite file (``fabric.sqlite`` inside a store directory) that any number
+of driver threads and worker processes open concurrently. Work units
+are content-addressed envelopes (DESIGN.md §13) moving through a small
+state machine::
+
+    pending --claim--> leased --commit--> done
+       ^                  |
+       |                  +--fail/lease-expiry--> pending (backoff)
+       |                  |
+       +--revive--        +-- after max_attempts --> quarantined
+
+* **Claiming is atomic.** ``claim()`` runs a ``BEGIN IMMEDIATE``
+  transaction, so two workers can never lease the same unit.
+* **Leases expire.** A claim carries a deadline; ``heartbeat()``
+  renews it (bounded by the unit TTL, so a wedged worker that keeps
+  heartbeating still loses the lease eventually) and ``reap()``
+  requeues anything past its deadline with exponential backoff.
+* **Commits are idempotent and first-writer-wins.** The first
+  ``commit()`` for a unit records the result exactly once; any later
+  commit — a reaped worker finishing late — is counted as a
+  ``late_commit`` and changes nothing. Unit results are deterministic
+  functions of their payloads, so whichever commit lands first is the
+  same answer.
+* **Poison units quarantine.** A unit that fails (or times out)
+  ``max_attempts`` times moves to ``quarantined`` instead of retrying
+  forever; re-enqueueing it later (a fresh submission) revives it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.exceptions import FabricError
+from repro.store.db import open_database
+
+#: database file name inside a store directory
+FABRIC_DB_NAME = "fabric.sqlite"
+
+#: unit lifecycle states
+UNIT_STATUSES = ("pending", "leased", "done", "quarantined")
+
+#: monotonic event counters surfaced by :meth:`WorkQueue.status`
+COUNTER_KEYS = (
+    "enqueued",
+    "claims",
+    "commits",
+    "late_commits",
+    "retries",
+    "lease_expiries",
+    "quarantines",
+    "revived",
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS fabric_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS units (
+    unit_id TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    group_id TEXT,
+    payload_json TEXT NOT NULL,
+    status TEXT NOT NULL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL,
+    not_before REAL NOT NULL DEFAULT 0,
+    lease_owner TEXT,
+    lease_started REAL,
+    lease_deadline REAL,
+    result_json TEXT,
+    committed_by TEXT,
+    commit_count INTEGER NOT NULL DEFAULT 0,
+    late_commits INTEGER NOT NULL DEFAULT 0,
+    error TEXT,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_units_claimable
+    ON units (status, not_before, created_at);
+CREATE TABLE IF NOT EXISTS workers (
+    worker_id TEXT PRIMARY KEY,
+    pid INTEGER,
+    state TEXT NOT NULL,
+    started_at REAL NOT NULL,
+    last_heartbeat REAL NOT NULL,
+    current_unit TEXT,
+    units_done INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS counters (
+    key TEXT PRIMARY KEY,
+    value INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+#: bump on any table change; the queue refuses newer-schema databases
+FABRIC_SCHEMA_VERSION = 1
+
+
+def fabric_db_path(path: str | Path) -> Path:
+    """The fabric database file for a store path (dir or ``.sqlite``)."""
+    path = Path(path)
+    if path.suffix == ".sqlite":
+        return path
+    return path / FABRIC_DB_NAME
+
+
+def _backoff_delay(attempts: int, base: float, cap: float) -> float:
+    """Exponential backoff: ``base * 2**(attempts-1)`` capped at ``cap``."""
+    return min(base * (2.0 ** max(attempts - 1, 0)), cap)
+
+
+class WorkQueue:
+    """Lease-based work queue over one SQLite file.
+
+    Every public method opens its own short-lived connection (the same
+    discipline as :class:`~repro.store.runstore.RunStore`), so one value
+    can be shared across service threads and named by path from worker
+    processes. ``now`` parameters exist so tests can drive the clock;
+    production callers omit them.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        default_max_attempts: int = 3,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 30.0,
+        unit_ttl: float = 900.0,
+    ) -> None:
+        if default_max_attempts < 1:
+            raise FabricError(
+                f"max_attempts must be >= 1, got {default_max_attempts}"
+            )
+        if unit_ttl <= 0:
+            raise FabricError(f"unit_ttl must be > 0, got {unit_ttl}")
+        self.path = Path(path)
+        self.default_max_attempts = default_max_attempts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        #: hard per-claim execution budget: heartbeats never extend a
+        #: lease past ``lease_started + unit_ttl``, so even a worker
+        #: that is wedged *and* heartbeating loses the unit eventually
+        self.unit_ttl = unit_ttl
+        conn = self._connect()
+        try:
+            with conn:
+                conn.executescript(_SCHEMA)
+                row = conn.execute(
+                    "SELECT value FROM fabric_meta WHERE key = 'schema_version'"
+                ).fetchone()
+                if row is None:
+                    conn.execute(
+                        "INSERT INTO fabric_meta (key, value) "
+                        "VALUES ('schema_version', ?)",
+                        (str(FABRIC_SCHEMA_VERSION),),
+                    )
+                elif int(row["value"]) > FABRIC_SCHEMA_VERSION:
+                    raise FabricError(
+                        f"fabric database schema v{row['value']} is newer "
+                        f"than this code (v{FABRIC_SCHEMA_VERSION})"
+                    )
+        finally:
+            conn.close()
+
+    @property
+    def db_path(self) -> Path:
+        return fabric_db_path(self.path)
+
+    def _connect(self):
+        return open_database(self.db_path)
+
+    @staticmethod
+    def _now(now: float | None) -> float:
+        return time.time() if now is None else now
+
+    @staticmethod
+    def _bump(conn, key: str, by: int = 1) -> None:
+        conn.execute(
+            "INSERT INTO counters (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = value + ?",
+            (key, by, by),
+        )
+
+    # -- enqueue ------------------------------------------------------------
+    def enqueue(
+        self,
+        unit_id: str,
+        kind: str,
+        payload: dict,
+        group_id: str | None = None,
+        max_attempts: int | None = None,
+        now: float | None = None,
+    ) -> str:
+        """Insert one unit, idempotently; returns its current status.
+
+        A unit that is already ``pending``/``leased``/``done`` is left
+        untouched (content addressing guarantees the payload matches).
+        A ``quarantined`` unit is *revived* — a fresh submission is a
+        fresh intent, so its attempt budget resets.
+        """
+        now = self._now(now)
+        max_attempts = max_attempts or self.default_max_attempts
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT status FROM units WHERE unit_id = ?", (unit_id,)
+            ).fetchone()
+            if row is None:
+                conn.execute(
+                    "INSERT INTO units (unit_id, kind, group_id, payload_json,"
+                    " status, max_attempts, created_at, updated_at) "
+                    "VALUES (?, ?, ?, ?, 'pending', ?, ?, ?)",
+                    (
+                        unit_id,
+                        kind,
+                        group_id,
+                        json.dumps(payload, sort_keys=True),
+                        max_attempts,
+                        now,
+                        now,
+                    ),
+                )
+                self._bump(conn, "enqueued")
+                status = "pending"
+            elif row["status"] == "quarantined":
+                conn.execute(
+                    "UPDATE units SET status = 'pending', attempts = 0, "
+                    "not_before = 0, error = NULL, lease_owner = NULL, "
+                    "lease_started = NULL, lease_deadline = NULL, "
+                    "max_attempts = ?, updated_at = ? WHERE unit_id = ?",
+                    (max_attempts, now, unit_id),
+                )
+                self._bump(conn, "revived")
+                status = "pending"
+            else:
+                status = row["status"]
+            conn.execute("COMMIT")
+            return status
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        finally:
+            conn.close()
+
+    # -- claim / heartbeat / commit / fail ------------------------------------
+    def claim(
+        self,
+        worker_id: str,
+        lease_seconds: float,
+        now: float | None = None,
+    ) -> dict | None:
+        """Atomically lease the oldest claimable unit, or return None.
+
+        The returned dict carries ``unit_id``/``kind``/``payload``/
+        ``attempts`` (attempts *including* this claim). ``not_before``
+        gates units that are backing off after a failure.
+        """
+        now = self._now(now)
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT unit_id, kind, payload_json, attempts FROM units "
+                "WHERE status = 'pending' AND not_before <= ? "
+                "ORDER BY created_at, unit_id LIMIT 1",
+                (now,),
+            ).fetchone()
+            if row is None:
+                conn.execute("COMMIT")
+                return None
+            conn.execute(
+                "UPDATE units SET status = 'leased', lease_owner = ?, "
+                "lease_started = ?, lease_deadline = ?, "
+                "attempts = attempts + 1, updated_at = ? WHERE unit_id = ?",
+                (worker_id, now, now + lease_seconds, now, row["unit_id"]),
+            )
+            conn.execute(
+                "UPDATE workers SET current_unit = ?, last_heartbeat = ? "
+                "WHERE worker_id = ?",
+                (row["unit_id"], now, worker_id),
+            )
+            self._bump(conn, "claims")
+            conn.execute("COMMIT")
+            return {
+                "unit_id": row["unit_id"],
+                "kind": row["kind"],
+                "payload": json.loads(row["payload_json"]),
+                "attempts": row["attempts"] + 1,
+            }
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        finally:
+            conn.close()
+
+    def heartbeat(
+        self,
+        unit_id: str,
+        worker_id: str,
+        lease_seconds: float,
+        now: float | None = None,
+    ) -> bool:
+        """Renew a lease (and the worker's liveness stamp).
+
+        Returns False when the lease is gone — expired and reaped, the
+        unit committed by someone else, or past its TTL. The worker
+        should finish its in-flight attempt anyway; its commit is
+        idempotent.
+        """
+        now = self._now(now)
+        conn = self._connect()
+        try:
+            with conn:
+                conn.execute(
+                    "UPDATE workers SET last_heartbeat = ? WHERE worker_id = ?",
+                    (now, worker_id),
+                )
+                renewed = conn.execute(
+                    "UPDATE units SET lease_deadline = "
+                    " MIN(?, lease_started + ?), updated_at = ? "
+                    "WHERE unit_id = ? AND lease_owner = ? "
+                    " AND status = 'leased' AND lease_started + ? > ?",
+                    (
+                        now + lease_seconds,
+                        self.unit_ttl,
+                        now,
+                        unit_id,
+                        worker_id,
+                        self.unit_ttl,
+                        now,
+                    ),
+                ).rowcount
+            return renewed == 1
+        finally:
+            conn.close()
+
+    def commit(
+        self,
+        unit_id: str,
+        worker_id: str,
+        result: dict,
+        now: float | None = None,
+    ) -> bool:
+        """Record a unit's result, first-writer-wins.
+
+        Returns True when this call committed the result; False for a
+        late duplicate (the unit was already ``done``), which is counted
+        but changes nothing — that is what makes worker-side
+        crash/retry loops safe.
+        """
+        now = self._now(now)
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT status FROM units WHERE unit_id = ?", (unit_id,)
+            ).fetchone()
+            if row is None:
+                # nothing written yet; the except clause rolls back
+                raise FabricError(f"commit for unknown unit {unit_id!r}")
+            if row["status"] == "done":
+                conn.execute(
+                    "UPDATE units SET late_commits = late_commits + 1, "
+                    "updated_at = ? WHERE unit_id = ?",
+                    (now, unit_id),
+                )
+                self._bump(conn, "late_commits")
+                conn.execute("COMMIT")
+                return False
+            conn.execute(
+                "UPDATE units SET status = 'done', result_json = ?, "
+                "committed_by = ?, commit_count = commit_count + 1, "
+                "lease_owner = NULL, lease_deadline = NULL, error = NULL, "
+                "updated_at = ? WHERE unit_id = ?",
+                (json.dumps(result, sort_keys=True), worker_id, now, unit_id),
+            )
+            conn.execute(
+                "UPDATE workers SET units_done = units_done + 1, "
+                "current_unit = NULL, last_heartbeat = ? WHERE worker_id = ?",
+                (now, worker_id),
+            )
+            self._bump(conn, "commits")
+            conn.execute("COMMIT")
+            return True
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        finally:
+            conn.close()
+
+    def fail(
+        self,
+        unit_id: str,
+        worker_id: str,
+        error: str,
+        now: float | None = None,
+    ) -> str:
+        """Report a failed attempt: requeue with backoff or quarantine.
+
+        Returns the unit's new status (``pending`` or ``quarantined``).
+        A unit whose lease was already reaped (or that someone else
+        committed) is left alone — this attempt no longer owns it.
+        """
+        now = self._now(now)
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            row = conn.execute(
+                "SELECT status, attempts, max_attempts FROM units "
+                "WHERE unit_id = ? AND lease_owner = ? AND status = 'leased'",
+                (unit_id, worker_id),
+            ).fetchone()
+            if row is None:
+                current = conn.execute(
+                    "SELECT status FROM units WHERE unit_id = ?", (unit_id,)
+                ).fetchone()
+                conn.execute("COMMIT")
+                return current["status"] if current else "unknown"
+            status = self._requeue_or_quarantine(
+                conn, unit_id, row["attempts"], row["max_attempts"], error, now
+            )
+            conn.execute(
+                "UPDATE workers SET current_unit = NULL, last_heartbeat = ? "
+                "WHERE worker_id = ?",
+                (now, worker_id),
+            )
+            conn.execute("COMMIT")
+            return status
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        finally:
+            conn.close()
+
+    def _requeue_or_quarantine(
+        self, conn, unit_id: str, attempts: int, max_attempts: int,
+        error: str, now: float,
+    ) -> str:
+        """Shared tail of ``fail`` and ``reap`` (caller holds the txn)."""
+        if attempts >= max_attempts:
+            conn.execute(
+                "UPDATE units SET status = 'quarantined', error = ?, "
+                "lease_owner = NULL, lease_deadline = NULL, updated_at = ? "
+                "WHERE unit_id = ?",
+                (error, now, unit_id),
+            )
+            self._bump(conn, "quarantines")
+            return "quarantined"
+        delay = _backoff_delay(attempts, self.backoff_base, self.backoff_cap)
+        conn.execute(
+            "UPDATE units SET status = 'pending', error = ?, "
+            "lease_owner = NULL, lease_deadline = NULL, not_before = ?, "
+            "updated_at = ? WHERE unit_id = ?",
+            (error, now + delay, now, unit_id),
+        )
+        self._bump(conn, "retries")
+        return "pending"
+
+    # -- the reaper -----------------------------------------------------------
+    def reap(self, now: float | None = None) -> list[str]:
+        """Requeue (or quarantine) every unit whose lease expired.
+
+        Safe to call from anywhere, any number of times: the driver's
+        result-poll loop, the supervisor's monitor, a CLI. Returns the
+        reaped unit IDs.
+        """
+        now = self._now(now)
+        conn = self._connect()
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            rows = conn.execute(
+                "SELECT unit_id, attempts, max_attempts, lease_owner "
+                "FROM units WHERE status = 'leased' AND lease_deadline < ?",
+                (now,),
+            ).fetchall()
+            reaped = []
+            for row in rows:
+                self._bump(conn, "lease_expiries")
+                self._requeue_or_quarantine(
+                    conn,
+                    row["unit_id"],
+                    row["attempts"],
+                    row["max_attempts"],
+                    f"lease expired (held by {row['lease_owner']})",
+                    now,
+                )
+                reaped.append(row["unit_id"])
+            conn.execute("COMMIT")
+            return reaped
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        finally:
+            conn.close()
+
+    # -- results --------------------------------------------------------------
+    def unit(self, unit_id: str) -> dict | None:
+        conn = self._connect()
+        try:
+            row = conn.execute(
+                "SELECT * FROM units WHERE unit_id = ?", (unit_id,)
+            ).fetchone()
+        finally:
+            conn.close()
+        if row is None:
+            return None
+        return {
+            "unit_id": row["unit_id"],
+            "kind": row["kind"],
+            "group_id": row["group_id"],
+            "status": row["status"],
+            "attempts": row["attempts"],
+            "max_attempts": row["max_attempts"],
+            "lease_owner": row["lease_owner"],
+            "lease_deadline": row["lease_deadline"],
+            "commit_count": row["commit_count"],
+            "late_commits": row["late_commits"],
+            "committed_by": row["committed_by"],
+            "error": row["error"],
+            "payload": json.loads(row["payload_json"]),
+            "result": (
+                json.loads(row["result_json"]) if row["result_json"] else None
+            ),
+        }
+
+    def result(self, unit_id: str) -> dict | None:
+        """A ``done`` unit's result dict, else None."""
+        conn = self._connect()
+        try:
+            row = conn.execute(
+                "SELECT result_json FROM units "
+                "WHERE unit_id = ? AND status = 'done'",
+                (unit_id,),
+            ).fetchone()
+        finally:
+            conn.close()
+        return json.loads(row["result_json"]) if row else None
+
+    # -- workers --------------------------------------------------------------
+    def register_worker(
+        self, worker_id: str, pid: int | None = None, now: float | None = None
+    ) -> None:
+        now = self._now(now)
+        conn = self._connect()
+        try:
+            with conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO workers "
+                    "(worker_id, pid, state, started_at, last_heartbeat, "
+                    " units_done) VALUES (?, ?, 'alive', ?, ?, "
+                    " COALESCE((SELECT units_done FROM workers "
+                    "           WHERE worker_id = ?), 0))",
+                    (worker_id, pid, now, now, worker_id),
+                )
+        finally:
+            conn.close()
+
+    def worker_beat(self, worker_id: str, now: float | None = None) -> None:
+        """Refresh a worker's liveness stamp (idle workers, no lease)."""
+        now = self._now(now)
+        conn = self._connect()
+        try:
+            with conn:
+                conn.execute(
+                    "UPDATE workers SET last_heartbeat = ? WHERE worker_id = ?",
+                    (now, worker_id),
+                )
+        finally:
+            conn.close()
+
+    def mark_worker(
+        self, worker_id: str, state: str, now: float | None = None
+    ) -> None:
+        """Record a worker's state — an upsert, so a worker that died
+        before it ever registered still shows up (as dead)."""
+        now = self._now(now)
+        conn = self._connect()
+        try:
+            with conn:
+                conn.execute(
+                    "INSERT INTO workers "
+                    "(worker_id, state, started_at, last_heartbeat) "
+                    "VALUES (?, ?, ?, ?) "
+                    "ON CONFLICT(worker_id) DO UPDATE SET state = excluded.state",
+                    (worker_id, state, now, now),
+                )
+        finally:
+            conn.close()
+
+    def workers(self) -> list[dict]:
+        conn = self._connect()
+        try:
+            rows = conn.execute(
+                "SELECT * FROM workers ORDER BY started_at, worker_id"
+            ).fetchall()
+        finally:
+            conn.close()
+        return [dict(r) for r in rows]
+
+    # -- status ---------------------------------------------------------------
+    def status(self, now: float | None = None) -> dict:
+        """The fabric's observable state (the ``/fabric`` endpoint body)."""
+        now = self._now(now)
+        conn = self._connect()
+        try:
+            by_status = {s: 0 for s in UNIT_STATUSES}
+            for row in conn.execute(
+                "SELECT status, COUNT(*) AS n FROM units GROUP BY status"
+            ):
+                by_status[row["status"]] = row["n"]
+            counters = {k: 0 for k in COUNTER_KEYS}
+            for row in conn.execute("SELECT key, value FROM counters"):
+                counters[row["key"]] = row["value"]
+            leases = [
+                {
+                    "unit_id": r["unit_id"],
+                    "owner": r["lease_owner"],
+                    "deadline_in": round(r["lease_deadline"] - now, 3),
+                    "attempts": r["attempts"],
+                }
+                for r in conn.execute(
+                    "SELECT unit_id, lease_owner, lease_deadline, attempts "
+                    "FROM units WHERE status = 'leased' ORDER BY unit_id"
+                )
+            ]
+            quarantined = [
+                {
+                    "unit_id": r["unit_id"],
+                    "attempts": r["attempts"],
+                    "error": r["error"],
+                }
+                for r in conn.execute(
+                    "SELECT unit_id, attempts, error FROM units "
+                    "WHERE status = 'quarantined' ORDER BY unit_id"
+                )
+            ]
+            workers = [
+                dict(r)
+                for r in conn.execute(
+                    "SELECT * FROM workers ORDER BY started_at, worker_id"
+                )
+            ]
+        finally:
+            conn.close()
+        return {
+            "units": by_status,
+            "counters": counters,
+            "leases": leases,
+            "quarantined": quarantined,
+            "workers": workers,
+        }

@@ -33,7 +33,7 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.exceptions import AnalyzerError
+from repro.exceptions import AnalyzerError, CampaignInterrupted
 from repro.oracle.stats import OracleStats
 from repro.parallel.executor import ProcessExecutor, SerialExecutor
 from repro.parallel.shard import STAGE_CAMPAIGN, derive_seed
@@ -355,6 +355,8 @@ def run_campaign(
     workers: int = 1,
     out_dir: str | Path | None = None,
     store=None,
+    executor=None,
+    should_stop=None,
 ) -> dict:
     """Fan the campaign's jobs across a pool and aggregate the reports.
 
@@ -370,6 +372,17 @@ def run_campaign(
     (derived per-unit seeds, placement-free units) makes a resumed
     campaign's report bit-identical to an uninterrupted one outside the
     ``"timing"`` blocks.
+
+    ``executor`` overrides the worker pool with any object speaking the
+    :class:`~repro.parallel.executor.Executor` protocol (e.g. a
+    :class:`~repro.fabric.executor.FabricExecutor` over a shared queue);
+    a passed-in executor is left open for the caller to reuse, while the
+    internally built pool is always closed. ``should_stop`` is a
+    zero-argument callable checked between persisted units: when it goes
+    true, the campaign sets its store status back to ``"pending"`` and
+    raises :class:`~repro.exceptions.CampaignInterrupted` — every unit
+    finished before the stop is already persisted, so a restart resumes
+    instead of recomputing (the service's graceful-drain path).
     """
     from repro.store.ids import campaign_id_for, run_id_for
 
@@ -405,7 +418,10 @@ def run_campaign(
         pending = list(range(len(payloads)))
 
     units = [CampaignUnit(payloads[index]) for index in pending]
-    executor = ProcessExecutor(workers) if workers > 1 else SerialExecutor()
+    owns_executor = executor is None
+    if owns_executor:
+        executor = ProcessExecutor(workers) if workers > 1 else SerialExecutor()
+    completed = resumed
     try:
         # Results stream back in unit order and are persisted one by
         # one: a failure after k units leaves k completed runs behind.
@@ -414,12 +430,24 @@ def run_campaign(
             results[index] = result
             if store is not None:
                 store.record_run(run_ids[index], payloads[index], result)
+            completed += 1
+            if should_stop is not None and should_stop():
+                if completed < len(payloads):
+                    if store is not None:
+                        store.set_campaign_status(campaign_id, "pending")
+                    raise CampaignInterrupted(
+                        campaign_id, completed, len(payloads)
+                    )
+                break  # stop landed after the final unit: finish normally
+    except CampaignInterrupted:
+        raise
     except Exception as exc:
         if store is not None:
             store.set_campaign_status(campaign_id, "failed", error=str(exc))
         raise
     finally:
-        executor.close()
+        if owns_executor:
+            executor.close()
 
     totals = OracleStats()
     for result in results:

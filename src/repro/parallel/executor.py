@@ -171,23 +171,31 @@ def make_executor(
 
     ``executor="serial"`` ignores ``workers`` (it must be 1, which
     :class:`~repro.core.config.XPlainConfig` validates). ``"process"``
-    needs a picklable :class:`ProblemSpec` — either passed explicitly or
-    attached to the problem by its domain constructor.
+    and ``"fabric"`` need a picklable :class:`ProblemSpec` — either
+    passed explicitly or attached to the problem by its domain
+    constructor. ``"fabric"`` spins up an ephemeral lease-queue fleet
+    (DESIGN.md §13): same placement-free units, plus worker heartbeats,
+    lease-expiry retry, and exactly-once commits.
     """
     if executor == "serial":
         return SerialExecutor(problem)
-    if executor == "process":
+    if executor in ("process", "fabric"):
         if spec is None:
             spec = getattr(problem, "spec", None)
         if spec is None:
             name = getattr(problem, "name", "<unknown>")
             raise AnalyzerError(
-                f"problem {name!r} has no ProblemSpec; the process executor "
-                "rebuilds problems in worker processes from a picklable "
-                "factory. Construct the problem through a spec-attaching "
-                "domain constructor or set problem.spec."
+                f"problem {name!r} has no ProblemSpec; the {executor} "
+                "executor rebuilds problems in worker processes from a "
+                "picklable factory. Construct the problem through a "
+                "spec-attaching domain constructor or set problem.spec."
             )
+        if executor == "fabric":
+            from repro.fabric.executor import local_fabric
+
+            return local_fabric(workers, spec=spec)
         return ProcessExecutor(workers, spec=spec)
     raise AnalyzerError(
-        f"unknown executor {executor!r}; expected 'serial' or 'process'"
+        f"unknown executor {executor!r}; expected 'serial', 'process', "
+        "or 'fabric'"
     )

@@ -8,7 +8,19 @@ persists, dedupes, and resumes), and :mod:`repro.service.http` exposes
 it as a stdlib JSON HTTP API — ``repro serve`` from the CLI.
 """
 
-from repro.service.http import DEFAULT_PORT, make_server, serve
-from repro.service.service import AnalysisService
+from repro.service.http import (
+    DEFAULT_PORT,
+    MAX_BODY_BYTES,
+    make_server,
+    serve,
+)
+from repro.service.service import SERVICE_EXECUTORS, AnalysisService
 
-__all__ = ["AnalysisService", "DEFAULT_PORT", "make_server", "serve"]
+__all__ = [
+    "AnalysisService",
+    "DEFAULT_PORT",
+    "MAX_BODY_BYTES",
+    "SERVICE_EXECUTORS",
+    "make_server",
+    "serve",
+]

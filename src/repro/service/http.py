@@ -15,8 +15,16 @@ Endpoints (all JSON):
   budget, ledger, the per-round :class:`~repro.search.trace.SearchTrace`);
 * ``GET  /domains``              — the registered domain plugins (what a
   submitted spec's ``{"domain": ...}`` problem blocks may name);
+* ``GET  /fabric``               — lease-queue and worker-fleet health
+  (unit states, counters, live leases, quarantined units, restarts);
+  404 when the service runs in local mode;
 * ``GET  /healthz``              — liveness (also checks the store);
 * ``GET  /version``              — ``repro.__version__``.
+
+Error discipline: every failure is a JSON body. Malformed JSON and bad
+parameters are 400, unknown paths 404, unsupported methods 405 (with an
+``Allow`` header), bodies over :data:`MAX_BODY_BYTES` 413, and a full
+submit backlog (``max_pending``) 429 with a ``Retry-After`` hint.
 
 The server is a ``ThreadingHTTPServer``: requests are served on their
 own threads and only ever touch the store through per-operation SQLite
@@ -31,12 +39,20 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 import repro
-from repro.exceptions import AnalyzerError
+from repro.exceptions import AnalyzerError, ServiceBusy
 from repro.service.service import AnalysisService
 
 #: default service port (a random-ish high port, not 8080, to keep out
 #: of the way of whatever else a dev box is running)
 DEFAULT_PORT = 8347
+
+#: request-body cap: a campaign spec is a list of job blocks, not a data
+#: upload — anything this large is a client bug, rejected with 413
+#: before the JSON parser chews on it
+MAX_BODY_BYTES = 2 * 1024 * 1024
+
+#: seconds a 429 response suggests waiting before re-submitting
+RETRY_AFTER_SECONDS = 5
 
 
 class ServiceHandler(BaseHTTPRequestHandler):
@@ -57,8 +73,39 @@ class ServiceHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._send(status, {"error": message})
+    def _error(
+        self, status: int, message: str, headers: dict | None = None
+    ) -> None:
+        body = json.dumps({"error": message}, sort_keys=True).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _method_not_allowed(self) -> None:
+        self._error(
+            405,
+            f"method {self.command} is not supported; the API is "
+            "GET for queries and POST /campaigns for submission",
+            headers={"Allow": "GET, POST"},
+        )
+
+    # Anything beyond GET/POST gets a JSON 405, not http.server's
+    # default HTML 501 page.
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        self._method_not_allowed()
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._method_not_allowed()
+
+    def do_PATCH(self) -> None:  # noqa: N802 - http.server API
+        self._method_not_allowed()
+
+    def do_HEAD(self) -> None:  # noqa: N802 - http.server API
+        self._method_not_allowed()
 
     # -- routes -------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -78,6 +125,16 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 plugins = registry().plugins()
                 payload = {"domains": [p.to_dict() for p in plugins]}
                 self._send(200, payload)
+            elif parts == ["fabric"]:
+                status = self.service.fabric_status()
+                if status is None:
+                    self._error(
+                        404,
+                        "the service is running the local executor; "
+                        "start it with executor='fabric' for fleet status",
+                    )
+                else:
+                    self._send(200, status)
             elif parts == ["campaigns"]:
                 campaigns = self.service.store.list_campaigns()
                 self._send(200, {"campaigns": campaigns})
@@ -106,9 +163,20 @@ class ServiceHandler(BaseHTTPRequestHandler):
         except Exception as exc:  # noqa: BLE001 - one request, one error
             self._error(500, f"{type(exc).__name__}: {exc}")
 
+    #: routes that only answer GET (a POST to them is a 405, not a 404)
+    _GET_ONLY = ("healthz", "version", "domains", "fabric", "runs")
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         url = urlparse(self.path)
         parts = [p for p in url.path.split("/") if p]
+        if parts and parts[0] in self._GET_ONLY:
+            self._error(
+                405,
+                f"{url.path} only supports GET; submission is "
+                "POST /campaigns",
+                headers={"Allow": "GET"},
+            )
+            return
         if parts != ["campaigns"]:
             self._error(404, f"unknown path {self.path!r}")
             return
@@ -117,6 +185,23 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 length = int(self.headers.get("Content-Length", 0))
             except ValueError:
                 self._error(400, "Content-Length must be an integer")
+                return
+            if length > MAX_BODY_BYTES:
+                # Drain what the client is still sending (bounded), so
+                # the 413 arrives on an intact connection instead of a
+                # reset mid-upload; past the drain cap we just close.
+                remaining = min(length, 8 * MAX_BODY_BYTES)
+                while remaining > 0:
+                    chunk = self.rfile.read(min(remaining, 65536))
+                    if not chunk:
+                        break
+                    remaining -= len(chunk)
+                self.close_connection = True
+                self._error(
+                    413,
+                    f"request body of {length} bytes exceeds the "
+                    f"{MAX_BODY_BYTES}-byte campaign-spec limit",
+                )
                 return
             raw = self.rfile.read(length)
             try:
@@ -140,6 +225,13 @@ class ServiceHandler(BaseHTTPRequestHandler):
                     return
             try:
                 submitted = self.service.submit(spec_data, workers=workers)
+            except ServiceBusy as exc:
+                self._error(
+                    429,
+                    str(exc),
+                    headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+                )
+                return
             except AnalyzerError as exc:
                 self._error(400, str(exc))
                 return
@@ -169,15 +261,27 @@ def serve(
     port: int = DEFAULT_PORT,
     workers: int = 1,
     retention: int = 0,
+    executor: str = "local",
+    max_pending: int = 0,
+    lease_seconds: float = 10.0,
 ) -> None:
-    """Run the service until interrupted (the ``repro serve`` entry point)."""
-    service = AnalysisService(store_path, workers=workers, retention=retention)
+    """Run the service until interrupted (``repro serve`` / ``repro
+    fabric serve`` entry point)."""
+    service = AnalysisService(
+        store_path,
+        workers=workers,
+        retention=retention,
+        executor=executor,
+        max_pending=max_pending,
+        lease_seconds=lease_seconds,
+    )
     service.start()
     server = make_server(service, host=host, port=port)
     actual_host, actual_port = server.server_address[:2]
     print(
         f"xplain analysis service v{repro.__version__} on "
-        f"http://{actual_host}:{actual_port} (store: {service.store.db_path})"
+        f"http://{actual_host}:{actual_port} (store: {service.store.db_path}, "
+        f"executor: {executor})"
     )
     try:
         server.serve_forever()

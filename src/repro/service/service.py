@@ -12,6 +12,17 @@ address of the planned units, so re-submitting a spec whose campaign is
 ``done`` returns the stored result immediately, and re-submitting a
 ``failed`` or interrupted one re-queues it (completed units load from
 the store and are skipped).
+
+Two execution modes (DESIGN.md §13): ``executor="local"`` runs each
+campaign's units through the classic serial/process pool, while
+``executor="fabric"`` stands up a lease queue + supervised worker fleet
+next to the store and pushes every campaign through a
+:class:`~repro.fabric.executor.FabricExecutor` — heartbeats, retry with
+backoff, poison-unit quarantine, and graceful degradation to in-driver
+execution when the whole fleet is down. ``stop()`` drains rather than
+abandons: the campaign checkpoint after the in-flight unit persists,
+the campaign flips back to ``"pending"``, and the next ``start()``
+requeues it to resume from the store.
 """
 
 from __future__ import annotations
@@ -21,13 +32,16 @@ import threading
 import traceback
 from pathlib import Path
 
-from repro.exceptions import AnalyzerError
+from repro.exceptions import AnalyzerError, CampaignInterrupted, ServiceBusy
 from repro.parallel.campaign import (
     CampaignSpec,
     plan_campaign,
     run_campaign,
 )
 from repro.store import RunStore, campaign_id_for, run_id_for
+
+#: legal execution modes for the service
+SERVICE_EXECUTORS = ("local", "fabric")
 
 
 class AnalysisService:
@@ -38,6 +52,9 @@ class AnalysisService:
         store: RunStore | str | Path,
         workers: int = 1,
         retention: int = 0,
+        executor: str = "local",
+        max_pending: int = 0,
+        lease_seconds: float = 10.0,
     ) -> None:
         if not isinstance(workers, int) or workers < 1:
             raise AnalyzerError(
@@ -47,15 +64,31 @@ class AnalysisService:
             raise AnalyzerError(
                 f"service retention must be an integer >= 0, got {retention!r}"
             )
+        if executor not in SERVICE_EXECUTORS:
+            raise AnalyzerError(
+                f"unknown service executor {executor!r}; "
+                f"expected one of {SERVICE_EXECUTORS}"
+            )
+        if not isinstance(max_pending, int) or max_pending < 0:
+            raise AnalyzerError(
+                f"service max_pending must be an integer >= 0 "
+                f"(0 = unbounded), got {max_pending!r}"
+            )
         self.store = store if isinstance(store, RunStore) else RunStore(store)
         self.workers = workers
         self.retention = retention
+        self.executor = executor
+        self.max_pending = max_pending
+        self.lease_seconds = lease_seconds
         self._queue: queue.Queue = queue.Queue()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         #: campaign IDs queued or executing right now (submit dedupe)
         self._active: set[str] = set()
         self._lock = threading.Lock()
+        #: fabric infrastructure (executor="fabric" only), built on start()
+        self._fabric_queue = None
+        self._fabric_supervisor = None
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "AnalysisService":
@@ -65,12 +98,30 @@ class AnalysisService:
             # A stop() that timed out, whose worker has since exited.
             self._thread = None
         self._stop.clear()
+        if self.executor == "fabric":
+            self._start_fabric()
         self._thread = threading.Thread(
             target=self._worker, name="xplain-service-worker", daemon=True
         )
         self._thread.start()
         self._requeue_incomplete()
         return self
+
+    def _start_fabric(self) -> None:
+        """Bring up (or re-wake) the shared lease queue and worker fleet."""
+        from repro.fabric.queue import WorkQueue
+        from repro.fabric.supervisor import FabricSupervisor
+
+        fabric_dir = self.store.path / "fabric"
+        if self._fabric_queue is None:
+            self._fabric_queue = WorkQueue(fabric_dir)
+        if self._fabric_supervisor is None:
+            self._fabric_supervisor = FabricSupervisor(
+                fabric_dir,
+                workers=self.workers,
+                lease_seconds=self.lease_seconds,
+            )
+        self._fabric_supervisor.start()
 
     def _requeue_incomplete(self) -> None:
         """Re-enqueue campaigns a previous process left unfinished.
@@ -91,14 +142,21 @@ class AnalysisService:
                 self._queue.put((row["campaign_id"], self.workers))
 
     def stop(self, timeout: float = 10.0) -> bool:
-        """Signal the worker and wait up to ``timeout`` for it to exit.
+        """Drain the worker and wait up to ``timeout`` for it to exit.
 
-        Returns False when the worker is still mid-campaign at the
-        deadline — the service then stays in the stopping state (a
-        later ``start()`` will not spawn a second worker over it); call
+        A mid-campaign worker stops at the next unit boundary: the unit
+        it was executing has already been persisted to the store, the
+        campaign flips back to ``"pending"``, and the next ``start()``
+        requeues it — so a stop/start cycle resumes exactly where it
+        left off instead of recomputing (or abandoning) work.
+
+        Returns False when the worker is still mid-unit at the deadline
+        — the service then stays in the stopping state (a later
+        ``start()`` will not spawn a second worker over it); call
         ``stop()`` again to finish the join.
         """
         if self._thread is None:
+            self._stop_fabric(timeout)
             return True
         self._stop.set()
         self._queue.put(None)  # wake the worker
@@ -106,7 +164,12 @@ class AnalysisService:
         if self._thread.is_alive():
             return False
         self._thread = None
+        self._stop_fabric(timeout)
         return True
+
+    def _stop_fabric(self, timeout: float) -> None:
+        if self._fabric_supervisor is not None:
+            self._fabric_supervisor.stop(timeout=timeout)
 
     @property
     def running(self) -> bool:
@@ -118,8 +181,21 @@ class AnalysisService:
 
         Returns ``{"campaign_id", "status", "num_jobs"}``. Raises
         :class:`~repro.exceptions.AnalyzerError` on an invalid spec (the
-        HTTP layer maps that to 400).
+        HTTP layer maps that to 400) and
+        :class:`~repro.exceptions.ServiceBusy` when ``max_pending``
+        campaigns are already queued or running (mapped to 429) —
+        backpressure applies before validation side effects register
+        anything, so a rejected submit leaves no store row behind.
         """
+        if self.max_pending:
+            with self._lock:
+                backlog = len(self._active)
+            if backlog >= self.max_pending:
+                raise ServiceBusy(
+                    f"service backlog is full ({backlog} campaigns queued "
+                    f"or running, max_pending={self.max_pending}); "
+                    "retry after the backlog drains"
+                )
         spec = CampaignSpec.from_dict(spec_data)
         payloads = plan_campaign(spec)
         campaign_id = campaign_id_for(spec.name, spec.seed, payloads)
@@ -184,6 +260,19 @@ class AnalysisService:
             "trace": None,
         }
 
+    def fabric_status(self) -> dict | None:
+        """Queue + fleet health for ``GET /fabric``; None in local mode."""
+        if self.executor != "fabric" or self._fabric_queue is None:
+            return None
+        status = self._fabric_queue.status()
+        if self._fabric_supervisor is not None:
+            status["fleet"] = self._fabric_supervisor.status()
+        status["executor"] = "fabric"
+        with self._lock:
+            status["backlog"] = len(self._active)
+        status["max_pending"] = self.max_pending
+        return status
+
     # -- the worker ---------------------------------------------------------
     def _worker(self) -> None:
         while not self._stop.is_set():
@@ -193,6 +282,11 @@ class AnalysisService:
             campaign_id, workers = item
             try:
                 self._execute(campaign_id, workers)
+            except CampaignInterrupted:
+                # stop() drained us mid-campaign: run_campaign already
+                # persisted every finished unit and reset the campaign
+                # to "pending", so the next start() resumes it.
+                pass
             except Exception as exc:  # noqa: BLE001 - service must survive
                 # run_campaign already marked the campaign failed; any
                 # other error (store corruption, bad spec row) must not
@@ -215,7 +309,31 @@ class AnalysisService:
         if row["status"] == "done":
             return
         spec = CampaignSpec.from_dict(row["spec"])
-        run_campaign(spec, workers=workers, store=self.store)
+        executor = self._make_campaign_executor(campaign_id)
+        try:
+            run_campaign(
+                spec,
+                workers=workers,
+                store=self.store,
+                executor=executor,
+                should_stop=self._stop.is_set,
+            )
+        finally:
+            if executor is not None:
+                executor.close()
+
+    def _make_campaign_executor(self, campaign_id: str):
+        """A FabricExecutor over the shared queue, or None for local mode."""
+        if self.executor != "fabric" or self._fabric_queue is None:
+            return None
+        from repro.fabric.executor import FabricExecutor
+
+        return FabricExecutor(
+            self._fabric_queue,
+            supervisor=self._fabric_supervisor,
+            group_id=campaign_id,
+            lease_seconds=self.lease_seconds,
+        )
         if self.retention > 0:
             try:
                 self.store.gc(keep=self.retention)

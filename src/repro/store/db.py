@@ -72,6 +72,25 @@ def store_db_path(path: str | Path) -> Path:
     return path / DB_NAME
 
 
+def open_database(db_path: str | Path) -> sqlite3.Connection:
+    """Open one SQLite file with the store's concurrency pragmas.
+
+    Shared plumbing for every database this package owns (the run
+    store's ``xplain.sqlite``, the fabric's ``fabric.sqlite``): WAL
+    journaling, relaxed-but-durable sync, and a generous busy timeout so
+    concurrent writers (service threads, worker processes) queue instead
+    of failing.
+    """
+    db_path = Path(db_path)
+    db_path.parent.mkdir(parents=True, exist_ok=True)
+    conn = sqlite3.connect(db_path, timeout=30.0)
+    conn.row_factory = sqlite3.Row
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    conn.execute("PRAGMA busy_timeout=30000")
+    return conn
+
+
 def connect(path: str | Path, init: bool = True) -> sqlite3.Connection:
     """Open (creating if needed) the store database at ``path``.
 
@@ -79,13 +98,7 @@ def connect(path: str | Path, init: bool = True) -> sqlite3.Connection:
     that already initialized this store (per-operation connections on a
     hot path); the database file must then exist.
     """
-    db_path = store_db_path(path)
-    db_path.parent.mkdir(parents=True, exist_ok=True)
-    conn = sqlite3.connect(db_path, timeout=30.0)
-    conn.row_factory = sqlite3.Row
-    conn.execute("PRAGMA journal_mode=WAL")
-    conn.execute("PRAGMA synchronous=NORMAL")
-    conn.execute("PRAGMA busy_timeout=30000")
+    conn = open_database(store_db_path(path))
     if init:
         _init_schema(conn)
     return conn

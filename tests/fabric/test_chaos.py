@@ -1,0 +1,185 @@
+"""Fault-injection integration: faulted campaigns converge bit-identically.
+
+The contract under test (ISSUE/DESIGN.md §13): for any planned fault —
+kill -9 mid-unit, a wedged-but-heartbeating stall, silent heartbeat
+loss, a crash on either side of the commit — a campaign run on the
+fabric produces a ``deterministic_view`` equal to an unfaulted serial
+run, with every unit committed exactly once and the recovery visibly
+recorded in the queue's counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fabric import (
+    ChaosPlan,
+    ChaosRule,
+    FabricExecutor,
+    FabricSupervisor,
+    WorkQueue,
+)
+from repro.parallel.campaign import (
+    CampaignSpec,
+    deterministic_view,
+    plan_campaign,
+    run_campaign,
+)
+from repro.store.ids import run_id_for
+
+SPEC = CampaignSpec.from_dict(
+    {
+        "name": "chaos",
+        "seed": 11,
+        "defaults": {
+            "explainer_samples": 15,
+            "generalizer_samples": 0,
+            "generator": {
+                "max_subspaces": 1,
+                "tree_extra_samples": 40,
+                "significance_pairs": 12,
+            },
+        },
+        "jobs": [
+            {
+                "name": f"band-{i}",
+                "problem": {
+                    "factory": "repro.parallel._testing:band_problem",
+                    "kwargs": {"dim": 2, "lo": 0.5 + 0.05 * i, "hi": 0.9},
+                },
+            }
+            for i in range(3)
+        ],
+    }
+)
+
+LEASE = 1.0
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return deterministic_view(run_campaign(SPEC, workers=1))
+
+
+def _run_on_fabric(tmp_path, plan, workers, unit_ttl=60.0):
+    """One campaign on a fresh chaos-armed fabric; returns its status."""
+    plan_path = plan.write(tmp_path / "chaos.json")
+    queue = WorkQueue(
+        tmp_path, unit_ttl=unit_ttl, backoff_base=0.05, default_max_attempts=8
+    )
+    supervisor = FabricSupervisor(
+        tmp_path,
+        workers=workers,
+        lease_seconds=LEASE,
+        unit_ttl=unit_ttl,
+        chaos_path=plan_path,
+    )
+    supervisor.start()
+    try:
+        executor = FabricExecutor(queue, supervisor=supervisor)
+        report = run_campaign(SPEC, executor=executor)
+    finally:
+        supervisor.stop()
+    return report, queue, supervisor
+
+
+def _assert_exactly_once(queue):
+    """Every planned run ID is committed exactly once, none twice."""
+    for payload in plan_campaign(SPEC):
+        row = queue.unit(run_id_for(payload))
+        assert row["status"] == "done"
+        assert row["commit_count"] == 1, (
+            f"unit {row['unit_id']} committed {row['commit_count']} times"
+        )
+
+
+class TestSeededKill:
+    def test_kill_at_seeded_unit_index_converges(self, tmp_path, baseline):
+        """kill -9 at a seeded-random unit K: restart, retry, identical."""
+        rng = np.random.default_rng(7)
+        kill_index = 1 + int(rng.integers(len(SPEC.jobs)))
+        # One worker claims the units in order, so its Kth claim IS the
+        # campaign's Kth unit — the seeded index maps exactly.
+        plan = ChaosPlan(
+            [ChaosRule(action="kill", worker="w0.g0", unit_index=kill_index)]
+        )
+        report, queue, supervisor = _run_on_fabric(tmp_path, plan, workers=1)
+        assert deterministic_view(report) == baseline
+        _assert_exactly_once(queue)
+        counters = queue.status()["counters"]
+        assert counters["retries"] >= 1, "the kill must be visible as a retry"
+        assert counters["lease_expiries"] >= 1
+        assert counters["commits"] == len(SPEC.jobs)
+        assert supervisor.restarts >= 1, "the dead worker must be replaced"
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize(
+        "fault", ["kill", "drop_heartbeat", "crash_before_commit"]
+    )
+    def test_recovered_fault_converges_with_a_retry(
+        self, tmp_path, baseline, fault
+    ):
+        """Faults that lose work force a retry and still converge."""
+        # Pin the fault to every first-generation worker's first claim:
+        # whichever slot wins the race faults, so injection is certain;
+        # restarted workers carry a new generation and never re-fire.
+        stall = 3.0 * LEASE if fault == "drop_heartbeat" else 0.0
+        plan = ChaosPlan(
+            [
+                ChaosRule(
+                    action=fault,
+                    worker=f"w{slot}.g0",
+                    unit_index=1,
+                    stall_seconds=stall,
+                )
+                for slot in range(2)
+            ]
+        )
+        report, queue, _ = _run_on_fabric(tmp_path, plan, workers=2)
+        assert deterministic_view(report) == baseline
+        _assert_exactly_once(queue)
+        counters = queue.status()["counters"]
+        assert counters["retries"] >= 1
+        assert counters["commits"] == len(SPEC.jobs)
+
+    def test_stalled_worker_is_unstuck_by_the_ttl(self, tmp_path, baseline):
+        """A wedged-but-heartbeating worker loses the unit at the TTL."""
+        plan = ChaosPlan(
+            [
+                ChaosRule(
+                    action="stall",
+                    worker=f"w{slot}.g0",
+                    unit_index=1,
+                    stall_seconds=6.0 * LEASE,
+                )
+                for slot in range(2)
+            ]
+        )
+        # TTL must bind below the stall, or the stalled worker's
+        # heartbeats would hold the lease for the full six seconds.
+        report, queue, _ = _run_on_fabric(
+            tmp_path, plan, workers=2, unit_ttl=2.0 * LEASE
+        )
+        assert deterministic_view(report) == baseline
+        _assert_exactly_once(queue)
+        counters = queue.status()["counters"]
+        assert counters["lease_expiries"] >= 1
+        assert counters["commits"] == len(SPEC.jobs)
+
+    def test_crash_after_commit_never_recommits(self, tmp_path, baseline):
+        """Work that committed before the crash is never redone-and-
+        recommitted: commit_count stays 1 for every unit."""
+        plan = ChaosPlan(
+            [
+                ChaosRule(
+                    action="crash_after_commit",
+                    worker=f"w{slot}.g0",
+                    unit_index=1,
+                )
+                for slot in range(2)
+            ]
+        )
+        report, queue, _ = _run_on_fabric(tmp_path, plan, workers=2)
+        assert deterministic_view(report) == baseline
+        _assert_exactly_once(queue)
+        assert queue.status()["counters"]["commits"] == len(SPEC.jobs)

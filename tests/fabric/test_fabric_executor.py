@@ -1,0 +1,172 @@
+"""FabricExecutor + supervisor: determinism, degradation, restarts."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FabricError
+from repro.fabric import (
+    FabricExecutor,
+    FabricSupervisor,
+    WorkQueue,
+    local_fabric,
+)
+from repro.parallel._testing import band_problem
+from repro.parallel.executor import make_executor
+from repro.parallel.work import EvalUnit, execute_unit
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return band_problem()
+
+
+def _units(problem, count=5, points=16, seed=0):
+    rng = np.random.default_rng(seed)
+    dim = len(problem.input_names)
+    return [EvalUnit(points=rng.random((points, dim))) for _ in range(count)]
+
+
+def _assert_same_results(serial, fabric):
+    assert len(serial) == len(fabric)
+    for expected, got in zip(serial, fabric):
+        assert np.array_equal(expected["benchmark"], got["benchmark"])
+        assert np.array_equal(expected["heuristic"], got["heuristic"])
+        assert np.array_equal(expected["feasible"], got["feasible"])
+
+
+class TestLocalFabric:
+    def test_results_bit_identical_to_serial(self, problem):
+        units = _units(problem)
+        serial = [execute_unit(unit, problem) for unit in units]
+        executor = local_fabric(2, spec=problem.spec, lease_seconds=5.0)
+        try:
+            fabric = executor.map_units(units)
+            status = executor.queue.status()
+        finally:
+            executor.close()
+        _assert_same_results(serial, fabric)
+        assert status["counters"]["commits"] == len(units)
+        assert status["units"]["done"] == len(units)
+
+    def test_make_executor_fabric_branch(self, problem):
+        executor = make_executor("fabric", 1, problem)
+        try:
+            assert isinstance(executor, FabricExecutor)
+            assert executor.in_process is False
+            (result,) = executor.map_units(_units(problem, count=1))
+        finally:
+            executor.close()
+        (expected,) = [
+            execute_unit(unit, problem)
+            for unit in _units(problem, count=1)
+        ]
+        assert np.array_equal(expected["benchmark"], result["benchmark"])
+
+    def test_close_tears_down_the_fleet(self, problem):
+        executor = local_fabric(1, spec=problem.spec)
+        supervisor = executor.supervisor
+        assert supervisor.alive_workers() == 1
+        executor.close()
+        assert supervisor.alive_workers() == 0
+
+
+class TestGracefulDegradation:
+    def test_inline_fallback_without_any_fleet(self, tmp_path, problem):
+        """A dead (here: never-started) fleet still converges inline."""
+        queue = WorkQueue(tmp_path)
+        executor = FabricExecutor(queue, problem_spec=problem.spec)
+        units = _units(problem, count=3)
+        fabric = executor.map_units(units)
+        serial = [execute_unit(unit, problem) for unit in units]
+        _assert_same_results(serial, fabric)
+        status = queue.status()
+        assert status["units"]["done"] == len(units)
+        assert status["counters"]["commits"] == len(units)
+
+    def test_no_fallback_raises_instead_of_hanging(self, tmp_path, problem):
+        queue = WorkQueue(tmp_path)
+        executor = FabricExecutor(
+            queue,
+            problem_spec=problem.spec,
+            inline_fallback=False,
+            unit_timeout=0.2,
+        )
+        with pytest.raises(FabricError):
+            executor.map_units(_units(problem, count=1))
+
+
+class TestQuarantinePropagation:
+    def test_poison_unit_fails_the_campaign_loudly(self, tmp_path):
+        """A unit that can never succeed quarantines and raises."""
+        from repro.parallel.spec import ProblemSpec
+        from repro.parallel.work import CampaignUnit
+
+        queue = WorkQueue(tmp_path, backoff_base=0.01)
+        executor = FabricExecutor(queue, max_attempts=2)
+        poison = CampaignUnit(
+            {
+                "name": "poison",
+                "problem": ProblemSpec(
+                    factory="repro.parallel._testing:flaky_problem",
+                    kwargs={"flag_path": str(tmp_path / "never-created")},
+                ).to_dict(),
+                "config": {},
+                "seed": 1,
+            }
+        )
+        with pytest.raises(FabricError, match="quarantined after 2 attempts"):
+            executor.map_units([poison])
+        status = queue.status()
+        assert status["units"]["quarantined"] == 1
+        assert status["counters"]["quarantines"] == 1
+        assert status["counters"]["retries"] == 1
+        (entry,) = status["quarantined"]
+        assert "injected mid-campaign crash" in entry["error"]
+
+
+class TestSupervisor:
+    def test_restarts_a_killed_worker_with_a_new_generation(self, tmp_path):
+        supervisor = FabricSupervisor(tmp_path, workers=2, poll_interval=0.01)
+        supervisor.start()
+        try:
+            assert supervisor.alive_workers() == 2
+            _, process = supervisor._slots[0]
+            process.kill()
+            process.join(timeout=5.0)
+            restarted = supervisor.poll()
+            assert restarted == ["w0.g1"]
+            assert supervisor.alive_workers() == 2
+            assert supervisor.restarts == 1
+            status = supervisor.status()
+            assert status["slots"]["w0"]["generation"] == 1
+            assert status["slots"]["w1"]["generation"] == 0
+            # the dead incarnation is marked in the queue's worker table
+            states = {
+                w["worker_id"]: w["state"] for w in supervisor.queue.workers()
+            }
+            assert states.get("w0.g0") == "dead"
+        finally:
+            supervisor.stop()
+
+    def test_restart_budget_is_bounded(self, tmp_path):
+        supervisor = FabricSupervisor(
+            tmp_path, workers=1, poll_interval=0.01, max_restarts_per_slot=2
+        )
+        supervisor.start()
+        try:
+            for _ in range(2):
+                _, process = supervisor._slots[0]
+                process.kill()
+                process.join(timeout=5.0)
+                assert supervisor.poll()  # restarted
+            _, process = supervisor._slots[0]
+            process.kill()
+            process.join(timeout=5.0)
+            assert supervisor.poll() == []  # budget exhausted: stays down
+            assert supervisor.alive_workers() == 0
+        finally:
+            supervisor.stop()
+
+    def test_rejects_zero_workers(self, tmp_path):
+        with pytest.raises(FabricError):
+            FabricSupervisor(tmp_path, workers=0)

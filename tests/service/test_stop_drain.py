@@ -1,0 +1,170 @@
+"""Graceful stop/start: drain at a unit boundary, resume from the store.
+
+Satellite of DESIGN.md §13: ``AnalysisService.stop()`` must not abandon
+a mid-flight campaign. The worker stops at the next unit boundary (the
+finished unit is already persisted), the campaign flips back to
+``pending``, and the next ``start()`` requeues it — resuming from the
+store, never re-executing a completed unit.
+"""
+
+import time
+
+from repro.parallel.campaign import (
+    CampaignSpec,
+    deterministic_view,
+    run_campaign,
+)
+from repro.service import AnalysisService
+
+
+def _spec_dict(counter_path):
+    return {
+        "name": "drain",
+        "seed": 5,
+        "defaults": {
+            "explainer_samples": 15,
+            "generalizer_samples": 0,
+            "generator": {
+                "max_subspaces": 1,
+                "tree_extra_samples": 40,
+                "significance_pairs": 12,
+            },
+        },
+        "jobs": [
+            {
+                "name": f"counted-{i}",
+                "problem": {
+                    "factory": "repro.parallel._testing:counted_band_problem",
+                    "kwargs": {
+                        "counter_path": str(counter_path),
+                        "dim": 2,
+                        "lo": 0.5 + 0.05 * i,
+                        "hi": 0.9,
+                    },
+                },
+            }
+            for i in range(3)
+        ],
+    }
+
+
+def _builds(counter_path):
+    if not counter_path.exists():
+        return 0
+    return len(counter_path.read_text().splitlines())
+
+
+def _wait(predicate, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.05)
+    return False
+
+
+class TestStopDrain:
+    def test_stop_drains_and_restart_resumes_without_rework(self, tmp_path):
+        counter = tmp_path / "builds.txt"
+        spec_data = _spec_dict(counter)
+        service = AnalysisService(tmp_path / "store").start()
+        campaign_id = service.submit(spec_data)["campaign_id"]
+        # Let the worker get at least one unit into the store, then
+        # ask for a drain mid-campaign.
+        assert _wait(lambda: _builds(counter) >= 1)
+        assert service.stop(timeout=120.0), "stop must drain, not time out"
+
+        row = service.store.campaign(campaign_id)
+        assert row["status"] == "pending", (
+            "an interrupted campaign is pending again, not failed/running"
+        )
+        completed = [r for r in row["runs"] if r["status"] == "done"]
+        assert completed, "the drained unit must already be persisted"
+        assert len(completed) < len(spec_data["jobs"]), (
+            "stop was supposed to interrupt mid-campaign"
+        )
+        builds_at_stop = _builds(counter)
+        assert builds_at_stop == len(completed)
+
+        # Restart: the pending campaign requeues itself and finishes.
+        service.start()
+        try:
+            assert _wait(
+                lambda: service.store.campaign(campaign_id)["status"]
+                in ("done", "failed")
+            )
+            row = service.store.campaign(campaign_id)
+            assert row["status"] == "done"
+            # Completed units were loaded from the store, not re-built:
+            # total builds == one per job, exactly.
+            assert _builds(counter) == len(spec_data["jobs"])
+        finally:
+            assert service.stop()
+
+        # And the drained-then-resumed report is bit-identical to an
+        # uninterrupted serial run.
+        fresh = run_campaign(CampaignSpec.from_dict(_spec_dict(counter)))
+        assert deterministic_view(
+            service.store.campaign(campaign_id)["report"]
+        ) == deterministic_view(fresh)
+
+    def test_stop_with_empty_queue_is_immediate(self, tmp_path):
+        service = AnalysisService(tmp_path / "store").start()
+        assert service.stop(timeout=10.0)
+        assert not service.running
+
+    def test_stop_is_idempotent(self, tmp_path):
+        service = AnalysisService(tmp_path / "store").start()
+        assert service.stop()
+        assert service.stop()
+
+
+class TestFabricMode:
+    def test_fabric_service_runs_a_campaign_end_to_end(self, tmp_path):
+        counter = tmp_path / "builds.txt"
+        spec_data = _spec_dict(counter)
+        service = AnalysisService(
+            tmp_path / "store",
+            workers=2,
+            executor="fabric",
+            lease_seconds=5.0,
+        ).start()
+        try:
+            campaign_id = service.submit(spec_data)["campaign_id"]
+            assert _wait(
+                lambda: service.store.campaign(campaign_id)["status"]
+                in ("done", "failed")
+            )
+            row = service.store.campaign(campaign_id)
+            assert row["status"] == "done"
+            status = service.fabric_status()
+            assert status["units"]["done"] == len(spec_data["jobs"])
+            assert status["counters"]["commits"] == len(spec_data["jobs"])
+            assert status["fleet"]["alive"] == 2
+        finally:
+            assert service.stop(timeout=120.0)
+        # The fleet is torn down with the service.
+        assert service._fabric_supervisor.alive_workers() == 0
+
+    def test_fabric_report_matches_local_execution(self, tmp_path):
+        # Run IDs are content-addressed over the payload (which embeds
+        # counter_path), so both runs must share the same spec dict.
+        counter = tmp_path / "builds.txt"
+        spec_data = _spec_dict(counter)
+        service = AnalysisService(
+            tmp_path / "store", executor="fabric"
+        ).start()
+        try:
+            campaign_id = service.submit(spec_data)["campaign_id"]
+            assert _wait(
+                lambda: service.store.campaign(campaign_id)["status"] == "done"
+            )
+            served = service.store.campaign(campaign_id)["report"]
+        finally:
+            service.stop(timeout=120.0)
+        fresh = run_campaign(CampaignSpec.from_dict(_spec_dict(counter)))
+        assert deterministic_view(served) == deterministic_view(fresh)
+
+    def test_local_mode_has_no_fabric_status(self, tmp_path):
+        service = AnalysisService(tmp_path / "store")
+        assert service.fabric_status() is None
