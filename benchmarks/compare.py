@@ -1,0 +1,121 @@
+"""Shared benchmark-regression harness for the CI bench jobs.
+
+Every perf-gated CI job used to repeat the same three steps by hand:
+pick a baseline (the previous successful run's artifact when one was
+downloaded, else the committed snapshot), drop it where pytest-benchmark
+expects (``.benchmarks/<machine-id>/0001_baseline.json``), and invoke
+pytest with ``--benchmark-compare=0001 --benchmark-compare-fail=...``.
+This module is that boilerplate, once:
+
+    python benchmarks/compare.py run \
+        --bench benchmarks/test_bench_oracle_throughput.py \
+        --previous previous-run/oracle-throughput.json \
+        --committed benchmarks/baseline.json \
+        --json oracle-throughput.json
+
+Baseline resolution order: ``--previous`` (the artifact fetched from the
+last green run of this branch) when the file exists, else
+``--committed`` when that exists, else **bootstrap mode** — the bench
+still runs and produces ``--json``, but no compare flags are passed
+(first run of a brand-new bench has nothing to compare against). The
+chosen baseline is always printed so the job log says what gated it.
+
+Exit status is pytest's, so a >threshold regression fails the job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import platform
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+DEFAULT_FAIL = "mean:30%"
+
+
+def machine_dir() -> str:
+    """The machine-id directory pytest-benchmark stores runs under."""
+    bits = "64bit" if sys.maxsize > 2 ** 32 else "32bit"
+    major, minor = platform.python_version_tuple()[:2]
+    return (
+        f"{platform.system()}-{platform.python_implementation()}"
+        f"-{major}.{minor}-{bits}"
+    )
+
+
+def select_baseline(
+    previous: Path | None, committed: Path | None, root: Path = Path(".")
+) -> str | None:
+    """Install the baseline as ``0001_baseline.json``; say which won.
+
+    Returns the label of the chosen source, or ``None`` in bootstrap
+    mode (neither file exists).
+    """
+    chosen: tuple[str, Path] | None = None
+    if previous is not None and previous.is_file():
+        chosen = ("previous run's artifact", previous)
+    elif committed is not None and committed.is_file():
+        chosen = (f"committed {committed}", committed)
+    if chosen is None:
+        print("baseline: none found - bootstrap run, compare skipped")
+        return None
+    label, source = chosen
+    target = root / ".benchmarks" / machine_dir() / "0001_baseline.json"
+    target.parent.mkdir(parents=True, exist_ok=True)
+    shutil.copy(source, target)
+    print(f"baseline: {label}")
+    return label
+
+
+def run(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "command", choices=["run", "setup"],
+        help="'run' = select baseline + invoke pytest; 'setup' = baseline only",
+    )
+    parser.add_argument(
+        "--bench", action="append", default=[],
+        help="benchmark file(s) to run (repeatable)",
+    )
+    parser.add_argument(
+        "--previous", type=Path, default=None,
+        help="benchmark JSON from the previous run's artifact (may not exist)",
+    )
+    parser.add_argument(
+        "--committed", type=Path, default=None,
+        help="committed fallback baseline JSON (may not exist)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None,
+        help="where pytest-benchmark writes this run's JSON",
+    )
+    parser.add_argument(
+        "--fail", default=DEFAULT_FAIL,
+        help=f"--benchmark-compare-fail spec (default {DEFAULT_FAIL})",
+    )
+    parser.add_argument(
+        "--pytest-arg", action="append", default=[],
+        help="extra argument forwarded to pytest (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = select_baseline(args.previous, args.committed)
+    if args.command == "setup":
+        return 0
+    if not args.bench:
+        parser.error("run requires at least one --bench")
+
+    cmd = [sys.executable, "-m", "pytest", *args.bench, "--benchmark-only", "-q"]
+    if baseline is not None:
+        cmd += ["--benchmark-compare=0001", f"--benchmark-compare-fail={args.fail}"]
+    if args.json is not None:
+        cmd.append(f"--benchmark-json={args.json}")
+    cmd += args.pytest_arg
+    print("+", " ".join(cmd), flush=True)
+    return subprocess.call(cmd)
+
+
+if __name__ == "__main__":
+    raise SystemExit(run())

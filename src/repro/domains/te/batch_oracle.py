@@ -11,8 +11,14 @@ demand set; only data varies per sample:
 
 :class:`TeBatchOracle` therefore builds one
 :class:`~repro.solver.template.LpTemplate` per model and serves a whole
-batch with in-place rhs/objective mutation plus basis warm-starting —
-no per-sample ``Model`` construction, lowering, or cold phase-1 work.
+batch through the tensorized dual-simplex slab
+(:meth:`~repro.solver.template.LpTemplate.solve_slab`): the per-batch rhs
+and objective matrices are assembled vectorized, every instance
+warm-starts from one shared basis, and the pivot loops run in lockstep
+over a stacked tableau. ``REPRO_SLAB_ENGINE`` selects the engine —
+``tensor`` (default), ``scalar`` (the bit-identical per-instance
+reference), or ``off`` (the pre-slab chained per-point loop, kept as the
+benchmark baseline).
 
 The scalar path (``AnalyzedProblem.evaluate``) is kept as the reference
 implementation; equivalence tests check the two agree.
@@ -26,6 +32,7 @@ from repro.analyzer.interface import GapSamples
 from repro.domains.te.demands import DemandSet
 from repro.domains.te.optimal import build_optimal_te_model
 from repro.domains.te.pinning import build_pinning_template_model
+from repro.solver.knobs import slab_engine
 from repro.solver.solution import SolveStatus
 from repro.solver.template import LpTemplate
 
@@ -53,18 +60,21 @@ class TeBatchOracle:
         """Construct both templates (once, on first use)."""
         demand_set = self.demand_set
         full = {key: self.d_max for key in demand_set.keys}
+        rhs_ranges = {
+            f"dem[{key}]": (0.0, self.d_max) for key in demand_set.keys
+        }
         opt_model, opt_vars = build_optimal_te_model(demand_set, full)
-        self._opt_template = LpTemplate(opt_model)
+        self._opt_template = LpTemplate(opt_model, rhs_ranges=rhs_ranges)
         self._opt_dem_rows = [f"dem[{key}]" for key in demand_set.keys]
 
         dp_model, dp_vars = build_pinning_template_model(
             demand_set, self.d_max
         )
-        self._dp_template = LpTemplate(dp_model)
         self._dp_flow_vars = list(dp_vars.values())
         self._dp_dem_rows = list(self._opt_dem_rows)
         #: per demand: (shortest-path var, [blk row names])
         self._dp_pin_controls = []
+        dp_ranges = dict(rhs_ranges)
         for demand in demand_set.demands:
             shortest = dp_vars[(demand.key, demand.shortest_path.name)]
             blk_rows = [
@@ -72,12 +82,47 @@ class TeBatchOracle:
                 for path in demand.paths[1:]
             ]
             self._dp_pin_controls.append((shortest, blk_rows))
+            for blk in blk_rows:
+                dp_ranges[blk] = (0.0, self.d_max)
+        self._dp_template = LpTemplate(dp_model, rhs_ranges=dp_ranges)
+
+        # ---- vectorized slab-batch maps -------------------------------
+        opt_t, dp_t = self._opt_template, self._dp_template
+        self._opt_rhs_map = opt_t.rhs_map(self._opt_dem_rows)
+        self._dp_rhs_map = dp_t.rhs_map(self._dp_dem_rows)
+        blk_names = [
+            blk for _, blk_rows in self._dp_pin_controls for blk in blk_rows
+        ]
+        self._dp_blk_map = dp_t.rhs_map(blk_names)
+        #: demand index owning each blk row (pin pattern broadcast)
+        self._dp_blk_owner = np.array(
+            [
+                d
+                for d, (_, blk_rows) in enumerate(self._dp_pin_controls)
+                for _ in blk_rows
+            ],
+            dtype=np.int64,
+        )
+        self._dp_shortest_cols = np.array(
+            [var.index for var, _ in self._dp_pin_controls], dtype=np.int64
+        )
+        self._dp_flow_cols = np.array(
+            [var.index for var in self._dp_flow_vars], dtype=np.int64
+        )
 
     # ------------------------------------------------------------------
     def __call__(self, xs: np.ndarray) -> GapSamples:
         if self._opt_template is None:
             self._build()
         xs = np.atleast_2d(np.asarray(xs, dtype=float))
+        engine = slab_engine()
+        if engine == "off":
+            return self._call_pointwise(xs)
+        return self._call_slab(xs, engine)
+
+    def _call_pointwise(self, xs: np.ndarray) -> GapSamples:
+        """Pre-slab per-point loop (chained warm starts); the benchmark
+        baseline the slab speedup is measured against."""
         n = len(xs)
         benchmark = np.empty(n)
         heuristic = np.empty(n)
@@ -93,6 +138,49 @@ class TeBatchOracle:
                 continue
             benchmark[i] = opt
             heuristic[i] = dp
+        return GapSamples(xs, benchmark, heuristic, feasible)
+
+    def _call_slab(self, xs: np.ndarray, engine: str) -> GapSamples:
+        """Serve the whole batch as two slab solves (OPT + DP)."""
+        K = len(xs)
+        opt_t, dp_t = self._opt_template, self._dp_template
+
+        # OPT: only the demand rows vary.
+        rows, signs, shifts = self._opt_rhs_map
+        b_opt = np.tile(opt_t.base_rhs(), (K, 1))
+        b_opt[:, rows] = signs * xs - shifts
+        opt_res = opt_t.solve_slab(b_opt, engine=engine)
+
+        # DP: demand rows, blocking rows, and the pinned-flow weights vary.
+        rows, signs, shifts = self._dp_rhs_map
+        b_dp = np.tile(dp_t.base_rhs(), (K, 1))
+        b_dp[:, rows] = signs * xs - shifts
+        pinned = (0.0 < xs) & (xs <= self.threshold)
+        brows, bsigns, bshifts = self._dp_blk_map
+        blk_vals = np.where(pinned[:, self._dp_blk_owner], 0.0, self.d_max)
+        b_dp[:, brows] = bsigns * blk_vals - bshifts
+        weight = 1.0 + np.sum(xs, axis=1)
+        c_dp = np.tile(dp_t.base_objective(), (K, 1))
+        c_dp[:, self._dp_shortest_cols] = dp_t._sign * np.where(
+            pinned, weight[:, None], 1.0
+        )
+        dp_res = dp_t.solve_slab(b_dp, c_dp, engine=engine)
+
+        benchmark = opt_res.objectives
+        # The weighted DP objective inflates the reported value; the
+        # heuristic total is the plain routed flow, accumulated in the
+        # same order as the scalar path's per-variable sum.
+        flows = dp_res.x[:, self._dp_flow_cols]
+        heuristic = np.zeros(K)
+        for j in range(flows.shape[1]):
+            col = flows[:, j]
+            heuristic = heuristic + np.where(col > 0.0, col, 0.0)
+        feasible = np.ones(K, dtype=bool)
+
+        bad = ~(opt_res.ok & dp_res.ok)
+        for i in np.where(bad)[0]:
+            self.fallback_points += 1
+            benchmark[i], heuristic[i], feasible[i] = self._scalar(xs[i])
         return GapSamples(xs, benchmark, heuristic, feasible)
 
     # ------------------------------------------------------------------

@@ -23,10 +23,13 @@ from repro.solver.expr import (
     VarType,
     quicksum,
 )
+from repro.solver.knobs import sf_presolve_default, slab_engine
 from repro.solver.model import INF, Model
 from repro.solver.presolve import PresolveResult, presolve, solve_with_presolve
+from repro.solver.sf_presolve import PresolvedForm, presolve_standard_form
+from repro.solver.slab import SlabResult, solve_slab
 from repro.solver.solution import Solution, SolveStats, SolveStatus
-from repro.solver.template import LpTemplate
+from repro.solver.template import LpTemplate, TemplateSlabResult
 
 __all__ = [
     "Constraint",
@@ -35,13 +38,20 @@ __all__ = [
     "LpTemplate",
     "Model",
     "PresolveResult",
+    "PresolvedForm",
     "Relation",
+    "SlabResult",
     "Solution",
     "SolveStats",
     "SolveStatus",
+    "TemplateSlabResult",
     "Variable",
     "VarType",
     "presolve",
+    "presolve_standard_form",
     "quicksum",
+    "sf_presolve_default",
+    "slab_engine",
+    "solve_slab",
     "solve_with_presolve",
 ]

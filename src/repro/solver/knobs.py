@@ -1,0 +1,32 @@
+"""Environment-variable knobs for the LP solve substrate.
+
+Two switches control the batched solve path (see DESIGN.md §14):
+
+* ``REPRO_SLAB_ENGINE`` — ``tensor`` (default) runs the stacked-tableau
+  dual-simplex slab, ``scalar`` runs the per-instance reference engine
+  (bit-identical results, used by the solver-bench CI diff), ``off``
+  restores the pre-slab chained warm-start loop in the TE batch oracle.
+* ``REPRO_SF_PRESOLVE`` — ``1`` applies the :mod:`repro.solver.sf_presolve`
+  reduction when an :class:`~repro.solver.template.LpTemplate` is built;
+  ``0`` (default) solves the unreduced standard form.
+
+Both are read at call time so CI jobs and tests can flip them per process
+without import-order games.
+"""
+
+from __future__ import annotations
+
+import os
+
+_ENGINES = ("tensor", "scalar", "off")
+
+
+def slab_engine() -> str:
+    """Selected slab engine: ``tensor`` | ``scalar`` | ``off``."""
+    value = os.environ.get("REPRO_SLAB_ENGINE", "tensor").strip().lower()
+    return value if value in _ENGINES else "tensor"
+
+
+def sf_presolve_default() -> bool:
+    """Whether templates apply StandardForm presolve by default."""
+    return os.environ.get("REPRO_SF_PRESOLVE", "0").strip() in ("1", "true", "on")

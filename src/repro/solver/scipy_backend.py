@@ -53,7 +53,11 @@ def solve_scipy(model: Model, time_limit: float | None = None) -> Solution:
                     sparse.csr_matrix(mf.a_eq), mf.b_eq, mf.b_eq
                 )
             )
-        options = {}
+        # HiGHS's default mip_rel_gap (1e-4) lets it stop at incumbents
+        # measurably worse than optimal (a 1e-5 absolute gap on a unit-scale
+        # makespan passes the default tolerance); the gap oracle needs the
+        # true optimum, so require (near-)exact convergence.
+        options = {"mip_rel_gap": 1e-9}
         if time_limit is not None:
             options["time_limit"] = time_limit
         result = optimize.milp(

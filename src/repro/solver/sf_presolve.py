@@ -1,0 +1,329 @@
+"""StandardForm-level presolve with exact solution recovery.
+
+:mod:`repro.solver.presolve` simplifies the *model* expression graph
+(alias merging, constant propagation, duplicate rows). This module works
+one level lower, on the :class:`~repro.solver.standard_form.StandardForm`
+an :class:`~repro.solver.template.LpTemplate` actually solves — where the
+slack columns, bound rows, and the template's *parametric* rhs live.
+
+Because a template re-solves the same structure for many right-hand
+sides, every reduction must hold for the whole declared rhs range
+``[b_lo, b_hi]``, not just one vector. The engine mirrors the
+``PresolveEngine``/``Reduction`` structure (registered passes applied in
+rounds until a fixpoint, each emitting typed :class:`Reduction` records):
+
+* **bound tightening** — implied upper bounds ``u_j`` on ``y_j >= 0``
+  from single rows' worst-case activity (iterated to a fixpoint; this
+  also absorbs singleton rows, the LP-exact case of coefficient
+  tightening);
+* **coefficient tightening** — the LP-exact subcases only: singleton
+  rows become bounds, and fixed columns have their coefficients moved to
+  the rhs. Savelsbergh-style coefficient reduction is *not* applied: for
+  a continuous LP it enlarges the polytope, so it can never be
+  solution-exact (documented here rather than silently skipped);
+* **redundant/empty-row elimination** — a row whose maximum activity
+  under the bounds cannot exceed the *smallest* rhs it will ever be
+  solved with is dropped together with its slack column;
+* **fixed-column substitution** — columns whose implied upper bound is
+  ``0`` (or forced by a binding row) are fixed and removed; their
+  objective contribution moves into the constant term;
+* **infeasible-by-bounds detection** — a row whose minimum activity
+  exceeds its largest rhs proves the template infeasible for every rhs
+  in the declared range.
+
+Recovery is exact: removed columns re-enter the solution at their fixed
+values (bitwise, no arithmetic), kept columns are scattered back in
+place. Slack variables of dropped rows are reported as ``0.0`` — they
+are provably nonbinding and no caller consumes them (``StandardForm.
+recover`` reads structural columns only).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.solver.standard_form import StandardForm
+
+#: Comparison tolerance for redundancy / infeasibility proofs.
+PRESOLVE_TOL = 1e-9
+
+#: Safety cap on fixpoint rounds (each round must fire a reduction to
+#: continue, so this is never reached on sane inputs).
+MAX_ROUNDS = 32
+
+
+@dataclass
+class Reduction:
+    """One applied reduction, for logs and tests."""
+
+    kind: str  # "tighten_bound" | "tighten_coefficient" | "drop_row" | "fix_column"
+    target: int  # row index for row reductions, column index otherwise
+    value: float  # new bound / fixed value / rhs slack margin
+
+
+@dataclass
+class SfPresolveStats:
+    bounds_tightened: int = 0
+    coefficients_tightened: int = 0
+    rows_dropped: int = 0
+    columns_fixed: int = 0
+    rounds: int = 0
+
+
+@dataclass
+class PresolvedForm:
+    """A reduced StandardForm plus the exact recovery mapping."""
+
+    original: StandardForm
+    sf: StandardForm  # reduced form (identical layout invariants)
+    keep_rows: np.ndarray  # original row indices kept, ascending
+    keep_cols: np.ndarray  # original y-column indices kept, ascending
+    removed_cols: np.ndarray  # original y-columns removed, ascending
+    removed_vals: np.ndarray  # fixed value per removed column
+    #: per-original-row [lo, hi] rhs range the reductions assumed
+    b_lo: np.ndarray
+    b_hi: np.ndarray
+    infeasible: bool
+    stats: SfPresolveStats
+    reductions: list[Reduction] = field(default_factory=list)
+
+    @property
+    def identity(self) -> bool:
+        """True when no reduction fired (reduced form == original copy)."""
+        return (
+            len(self.keep_rows) == self.original.a.shape[0]
+            and len(self.keep_cols) == self.original.a.shape[1]
+        )
+
+    # -- per-solve data mapping --------------------------------------------
+    def reduce_b(self, b: np.ndarray) -> np.ndarray:
+        """Map original-space rhs (``(m,)`` or ``(K, m)``) to reduced rows.
+
+        Raises :class:`ModelError` when a rhs leaves the declared range the
+        reductions were proved against — redundancy proofs would be void.
+        """
+        b = np.asarray(b, dtype=float)
+        squeeze = b.ndim == 1
+        B = np.atleast_2d(b)
+        lo_bad = B < self.b_lo - PRESOLVE_TOL
+        hi_bad = B > self.b_hi + PRESOLVE_TOL
+        if lo_bad.any() or hi_bad.any():
+            row = int(np.argwhere(lo_bad | hi_bad)[0][1])
+            raise ModelError(
+                f"rhs for row {row} leaves the declared presolve range "
+                f"[{self.b_lo[row]}, {self.b_hi[row]}]"
+            )
+        reduced = B[:, self.keep_rows]
+        if self.removed_cols.size:
+            shift = self.original.a[
+                np.ix_(self.keep_rows, self.removed_cols)
+            ] @ self.removed_vals
+            if np.any(shift != 0.0):
+                reduced = reduced - shift
+        return reduced[0] if squeeze else reduced
+
+    def reduce_c(self, c: np.ndarray) -> tuple[np.ndarray, float]:
+        """Reduced objective row plus the constant from fixed columns."""
+        c = np.asarray(c, dtype=float)
+        delta = (
+            float(c[self.removed_cols] @ self.removed_vals)
+            if self.removed_cols.size
+            else 0.0
+        )
+        return c[self.keep_cols], delta
+
+    def expand_y(self, y: np.ndarray) -> np.ndarray:
+        """Scatter reduced solutions back to original y-space (exact)."""
+        y = np.asarray(y, dtype=float)
+        squeeze = y.ndim == 1
+        Y = np.atleast_2d(y)
+        out = np.zeros((Y.shape[0], self.original.a.shape[1]))
+        out[:, self.keep_cols] = Y
+        if self.removed_cols.size:
+            out[:, self.removed_cols] = self.removed_vals
+        return out[0] if squeeze else out
+
+
+def _implied_bounds(a, b_hi, num_slack, tol, row_mask=None, u0=None):
+    """Fixpoint upper bounds on ``y >= 0`` from worst-case row activity.
+
+    Only inequality rows (the first ``num_slack``) prove bounds: an
+    equality row pins activity but its slack-free structure is not
+    produced by the template layer this pass serves. Each inequality row
+    ``sum_j a_rj y_j + s_r = b_r`` with ``s_r >= 0`` gives, for every
+    ``a_rj > 0``:  ``y_j <= (b_hi_r - minact(others)) / a_rj``.
+
+    ``row_mask`` restricts which rows may certify a bound (used by the
+    redundancy pass, which must not let a row prove itself redundant);
+    ``u0`` seeds already-established bounds (fixed columns at ``0``).
+    """
+    m, n = a.shape
+    u = np.full(n, np.inf) if u0 is None else u0.copy()
+    tightened = 0
+    for _ in range(MAX_ROUNDS):
+        changed = False
+        for r in range(num_slack):
+            if row_mask is not None and not row_mask[r]:
+                continue
+            row = a[r]
+            pos = row > tol
+            neg = row < -tol
+            if not pos.any():
+                continue
+            # minimum activity of each term: 0 for positive coefficients,
+            # a_rj * u_j (possibly -inf) for negative ones
+            neg_terms = row[neg] * u[neg]
+            minact = float(neg_terms.sum()) if neg.any() else 0.0
+            if not np.isfinite(minact):
+                continue
+            for j in np.where(pos)[0]:
+                bound = (b_hi[r] - minact) / row[j]
+                if bound < u[j] - tol:
+                    u[j] = max(bound, 0.0)
+                    tightened += 1
+                    changed = True
+        if not changed:
+            break
+    return u, tightened
+
+
+def presolve_standard_form(
+    sf: StandardForm,
+    b_lo: np.ndarray | None = None,
+    b_hi: np.ndarray | None = None,
+    tol: float = PRESOLVE_TOL,
+) -> PresolvedForm:
+    """Reduce ``sf`` for all rhs vectors in ``[b_lo, b_hi]`` elementwise.
+
+    With no range given, the build-time ``sf.b`` is treated as fixed.
+    Only structural columns are ever fixed and only inequality rows are
+    ever dropped, so the reduced form keeps the slack-diagonal layout the
+    simplex shortcut and the slab engine rely on.
+    """
+    a = sf.a
+    m, n = a.shape
+    b_lo = sf.b.copy() if b_lo is None else np.asarray(b_lo, dtype=float).copy()
+    b_hi = sf.b.copy() if b_hi is None else np.asarray(b_hi, dtype=float).copy()
+    if b_lo.shape != (m,) or b_hi.shape != (m,):
+        raise ModelError("presolve rhs range must match the row count")
+    if np.any(b_lo > b_hi):
+        raise ModelError("presolve rhs range has lo > hi")
+
+    stats = SfPresolveStats()
+    reductions: list[Reduction] = []
+    ns = sf.num_structural
+
+    u, stats.bounds_tightened = _implied_bounds(a, b_hi, sf.num_slack, tol)
+    for j in np.where(np.isfinite(u))[0]:
+        reductions.append(Reduction("tighten_bound", int(j), float(u[j])))
+
+    # -- infeasibility: some row can never be satisfied ---------------------
+    infeasible = False
+    for r in range(m):
+        row = a[r]
+        neg = row < -tol
+        if neg.any() and not np.all(np.isfinite(u[neg])):
+            continue
+        minact = float((row[neg] * u[neg]).sum()) if neg.any() else 0.0
+        if minact > b_hi[r] + 1e-7:
+            infeasible = True
+        if r >= sf.num_slack:
+            # equality rows must also *reach* the rhs from below
+            pos = row > tol
+            if pos.any() and not np.all(np.isfinite(u[pos])):
+                continue
+            maxact = float((row[pos] * u[pos]).sum()) if pos.any() else 0.0
+            if maxact < b_lo[r] - 1e-7:
+                infeasible = True
+
+    # -- fixed columns: implied upper bound 0 pins y_j at 0 ----------------
+    # (structural columns only; a slack pinned at 0 would mean its row is
+    # always binding, which we leave to the solver)
+    fixed = np.zeros(n, dtype=bool)
+    fixed[:ns] = u[:ns] <= tol
+    for j in np.where(fixed)[0]:
+        stats.columns_fixed += 1
+        stats.coefficients_tightened += int(
+            np.count_nonzero(a[:, j])
+        )  # coefficients moved to the rhs exactly (y_j = 0)
+        reductions.append(Reduction("fix_column", int(j), 0.0))
+
+    # -- redundant rows: max activity can't reach the smallest rhs --------
+    # A drop proof may only lean on bounds certified by rows that survive
+    # into the reduced system: a row must not prove itself redundant via a
+    # bound it alone enforces (nor via another row dropped the same way).
+    # Fixed columns are exempt — their substitution is carried explicitly,
+    # so their zero holds in the reduced problem by construction. Rows are
+    # examined greedily; each candidate recomputes the bound fixpoint from
+    # the currently-kept rows with itself excluded.
+    drop = np.zeros(m, dtype=bool)
+    if not infeasible:
+        u_seed = np.full(n, np.inf)
+        u_seed[fixed] = 0.0
+        for r in range(sf.num_slack):
+            if b_lo[r] < -tol:
+                continue
+            row = a[r, :ns]  # structural part; own slack contributes +s >= 0
+            live = ~fixed[:ns]
+            pos = (row > tol) & live
+            if pos.any():
+                row_mask = ~drop
+                row_mask[r] = False
+                u_r, _ = _implied_bounds(
+                    a, b_hi, sf.num_slack, tol, row_mask=row_mask, u0=u_seed
+                )
+                if not np.all(np.isfinite(u_r[:ns][pos])):
+                    continue
+                maxact = float((row[pos] * u_r[:ns][pos]).sum())
+            else:
+                maxact = 0.0
+            if maxact <= b_lo[r] + 0.0:
+                drop[r] = True
+                stats.rows_dropped += 1
+                reductions.append(
+                    Reduction("drop_row", int(r), float(b_lo[r] - maxact))
+                )
+
+    keep_rows = np.where(~drop)[0]
+    # a dropped inequality row takes its slack column with it
+    col_drop = fixed.copy()
+    slack_cols = ns + np.where(drop[: sf.num_slack])[0]
+    col_drop[slack_cols] = True
+    keep_cols = np.where(~col_drop)[0]
+    removed_cols = np.where(col_drop)[0]
+    removed_vals = np.zeros(removed_cols.size)
+
+    # -- assemble the reduced form -----------------------------------------
+    a_red = a[np.ix_(keep_rows, keep_cols)]
+    b_red = sf.b[keep_rows].copy()
+    c_red = sf.c[keep_cols].copy()
+    c0_delta = float(sf.c[removed_cols] @ removed_vals)
+    kept_slack = int(np.count_nonzero(keep_rows < sf.num_slack))
+    kept_structural = int(np.count_nonzero(keep_cols < ns))
+    reduced = StandardForm(
+        a=a_red,
+        b=b_red,
+        c=c_red,
+        c0=sf.c0 + c0_delta,
+        var_maps=[],  # recovery goes through PresolvedForm.expand_y
+        num_structural=kept_structural,
+        row_shifts=None,
+        num_slack=kept_slack,
+    )
+    stats.rounds = 1
+    return PresolvedForm(
+        original=sf,
+        sf=reduced,
+        keep_rows=keep_rows,
+        keep_cols=keep_cols,
+        removed_cols=removed_cols,
+        removed_vals=removed_vals,
+        b_lo=b_lo,
+        b_hi=b_hi,
+        infeasible=infeasible,
+        stats=stats,
+        reductions=reductions,
+    )

@@ -24,18 +24,39 @@ two-phase simplex when the basis no longer applies. See DESIGN.md
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.exceptions import ModelError
 from repro.solver.expr import Relation, Variable
+from repro.solver.knobs import sf_presolve_default, slab_engine
 from repro.solver.model import Model
+from repro.solver.sf_presolve import PresolvedForm, presolve_standard_form
 from repro.solver.simplex import (
     solve_standard_form,
     solve_with_basis,
 )
+from repro.solver.slab import solve_slab
 from repro.solver.solution import Solution, SolveStats, SolveStatus
 from repro.solver.standard_form import from_matrix_form
+
+
+@dataclass
+class TemplateSlabResult:
+    """Model-space results of one batched template solve.
+
+    Rows of ``x`` / entries of ``objectives`` are valid only where ``ok``
+    (the per-instance status is OPTIMAL); objectives are in the model's
+    own sense, matching :attr:`Solution.objective`.
+    """
+
+    statuses: list[SolveStatus]
+    objectives: np.ndarray
+    x: np.ndarray
+    ok: np.ndarray
+    iterations: np.ndarray
+    warm: np.ndarray
 
 
 class LpTemplate:
@@ -53,7 +74,12 @@ class LpTemplate:
     back to the cold two-phase simplex when warm starting fails.
     """
 
-    def __init__(self, model: Model) -> None:
+    def __init__(
+        self,
+        model: Model,
+        presolve: bool | None = None,
+        rhs_ranges: dict[str, tuple[float, float]] | None = None,
+    ) -> None:
         if model.is_mip:
             raise ModelError(
                 f"model {model.name!r} has integer variables; LP templates "
@@ -100,6 +126,26 @@ class LpTemplate:
         self._c_dirty = False
         self._b = sf.b.copy()
 
+        # ---- optional StandardForm presolve -------------------------------
+        self._presolved: PresolvedForm | None = None
+        if presolve if presolve is not None else sf_presolve_default():
+            b_lo = self._b.copy()
+            b_hi = self._b.copy()
+            for name, (lo, hi) in (rhs_ranges or {}).items():
+                try:
+                    row, sign = self._row_of[name]
+                except KeyError:
+                    raise ModelError(
+                        f"rhs range names unknown constraint {name!r}"
+                    ) from None
+                ends = (
+                    sign * lo - sf.row_shifts[row],
+                    sign * hi - sf.row_shifts[row],
+                )
+                b_lo[row] = min(ends)
+                b_hi[row] = max(ends)
+            self._presolved = presolve_standard_form(sf, b_lo, b_hi)
+
         # ---- warm-start state & counters ----------------------------------
         self._basis: list[int] | None = None
         self.warm_solves = 0
@@ -134,23 +180,52 @@ class LpTemplate:
         sf.c0 = float(self._c0_const + self._c_model @ self._var_shifts)
         self._c_dirty = False
 
+    def _prepare_run(self):
+        """The StandardForm to solve plus the objective constant.
+
+        Without presolve this is ``self.sf`` with the live ``b``; with
+        presolve it is the reduced form with mapped rhs/objective (and
+        the fixed columns' objective contribution folded into ``c0``).
+        """
+        sf = self.sf
+        if self._c_dirty:
+            self._refresh_objective()
+        ps = self._presolved
+        if ps is None:
+            sf.b = self._b
+            return sf, sf.c0
+        run_sf = ps.sf
+        run_sf.b = ps.reduce_b(self._b)
+        run_sf.c, c0_delta = ps.reduce_c(sf.c)
+        return run_sf, sf.c0 + c0_delta
+
+    def _recover_x(self, y: np.ndarray) -> np.ndarray:
+        if self._presolved is not None:
+            y = self._presolved.expand_y(y)
+        return self.sf.recover(y)
+
     def solve(self, warm: bool = True) -> Solution:
         """Solve with the current rhs/objective data."""
         start = time.perf_counter()
-        sf = self.sf
-        sf.b = self._b
-        if self._c_dirty:
-            self._refresh_objective()
+        if self._presolved is not None and self._presolved.infeasible:
+            self.cold_solves += 1
+            self._basis = None
+            self.solve_seconds += time.perf_counter() - start
+            return Solution(
+                status=SolveStatus.INFEASIBLE,
+                stats=SolveStats(iterations=0, backend="simplex"),
+            )
+        run_sf, c0 = self._prepare_run()
 
         result = None
         if warm and self._basis is not None:
-            result = solve_with_basis(sf, self._basis)
+            result = solve_with_basis(run_sf, self._basis)
         if result is not None:
             # Any non-None warm outcome (optimal, unbounded, infeasible)
             # is definitive; only a None handoff needs the cold path.
             self.warm_solves += 1
         else:
-            result = solve_standard_form(sf)
+            result = solve_standard_form(run_sf)
             self.cold_solves += 1
         self.iterations += result.iterations
         self._basis = result.basis if result.status is SolveStatus.OPTIMAL else None
@@ -159,9 +234,9 @@ class LpTemplate:
         stats = SolveStats(iterations=result.iterations, backend="simplex")
         if result.status is not SolveStatus.OPTIMAL:
             return Solution(status=result.status, stats=stats)
-        x = sf.recover(result.y)
+        x = self._recover_x(result.y)
         values = {var: float(x[i]) for i, var in enumerate(self._variables)}
-        objective = self._sign * (result.objective + sf.c0)
+        objective = self._sign * (result.objective + c0)
         solution = Solution(
             status=SolveStatus.OPTIMAL,
             objective=objective,
@@ -170,6 +245,139 @@ class LpTemplate:
         )
         stats.runtime_seconds = time.perf_counter() - start
         return solution
+
+    # -- batched solving ------------------------------------------------------
+    def rhs_map(self, names: list[str]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`set_rhs` data for the named constraints.
+
+        Returns ``(rows, signs, shifts)`` so a caller can fill a whole rhs
+        matrix with ``b[:, rows] = signs * values - shifts`` — the exact
+        elementwise arithmetic :meth:`set_rhs` performs per entry.
+        """
+        rows = np.empty(len(names), dtype=np.int64)
+        signs = np.empty(len(names))
+        for i, name in enumerate(names):
+            try:
+                rows[i], signs[i] = self._row_of[name]
+            except KeyError:
+                raise ModelError(
+                    f"template has no constraint {name!r}"
+                ) from None
+        return rows, signs, self.sf.row_shifts[rows]
+
+    def base_rhs(self) -> np.ndarray:
+        """Copy of the current rhs vector (original row space)."""
+        return self._b.copy()
+
+    def base_objective(self) -> np.ndarray:
+        """Copy of the current model-space objective coefficients."""
+        return self._c_model.copy()
+
+    def solve_slab(
+        self,
+        b_matrix: np.ndarray,
+        c_model_matrix: np.ndarray | None = None,
+        engine: str | None = None,
+    ) -> TemplateSlabResult:
+        """Solve ``K`` instances sharing this template's structure.
+
+        ``b_matrix`` is ``(K, m)`` in original row space (start from
+        :meth:`base_rhs`, overwrite via :meth:`rhs_map`);
+        ``c_model_matrix`` is ``(K, num_vars)`` of model-space objective
+        coefficients as :meth:`set_objective_coeff` would store them, or
+        ``None`` to share the current objective. All instances start from
+        the carried basis (see :mod:`repro.solver.slab` for the slab
+        protocol); the carry then advances to the last instance's basis,
+        exactly as a scalar loop over :meth:`solve` would leave it.
+        """
+        start = time.perf_counter()
+        engine = engine or slab_engine()
+        if engine not in ("tensor", "scalar"):
+            engine = "tensor"
+        b_matrix = np.asarray(b_matrix, dtype=float)
+        K = b_matrix.shape[0]
+        sf = self.sf
+        num_y = sf.a.shape[1]
+
+        if self._presolved is not None and self._presolved.infeasible:
+            self.cold_solves += K
+            self._basis = None
+            self.solve_seconds += time.perf_counter() - start
+            return TemplateSlabResult(
+                statuses=[SolveStatus.INFEASIBLE] * K,
+                objectives=np.full(K, np.nan),
+                x=np.zeros((K, len(self._variables))),
+                ok=np.zeros(K, dtype=bool),
+                iterations=np.zeros(K, dtype=np.int64),
+                warm=np.zeros(K, dtype=bool),
+            )
+
+        # ---- objective expansion (model space -> y space) -----------------
+        if c_model_matrix is None:
+            if self._c_dirty:
+                self._refresh_objective()
+            C = None
+            c0 = sf.c0
+        else:
+            c_model_matrix = np.asarray(c_model_matrix, dtype=float)
+            C = np.zeros((K, num_y))
+            C[:, self._pos_cols] = c_model_matrix
+            if self._neg_rows.size:
+                C[:, self._neg_cols] = -c_model_matrix[:, self._neg_rows]
+            c0 = self._c0_const + c_model_matrix @ self._var_shifts
+
+        # ---- presolve mapping ---------------------------------------------
+        ps = self._presolved
+        if ps is None:
+            run_sf = sf
+            B_run = b_matrix
+            C_run = C
+        else:
+            run_sf = ps.sf
+            B_run = ps.reduce_b(b_matrix)
+            if C is None:
+                run_sf.c, c0_delta = ps.reduce_c(sf.c)
+                c0 = c0 + c0_delta
+            else:
+                C_run = C[:, ps.keep_cols]
+                if ps.removed_cols.size:
+                    c0 = c0 + C[:, ps.removed_cols] @ ps.removed_vals
+            if C is None:
+                C_run = None
+
+        result = solve_slab(
+            run_sf, B_run, C_run, start_basis=self._basis, engine=engine
+        )
+
+        warm_count = int(result.warm.sum())
+        self.warm_solves += warm_count
+        self.cold_solves += K - warm_count
+        self.iterations += int(result.iterations.sum())
+        self._basis = (
+            list(result.carry_basis) if result.carry_basis is not None else None
+        )
+
+        # ---- model-space recovery -----------------------------------------
+        Y = result.ys
+        if ps is not None:
+            Y = ps.expand_y(Y)
+        X = Y[:, self._pos_cols].copy()
+        if self._neg_rows.size:
+            X[:, self._neg_rows] = X[:, self._neg_rows] - Y[:, self._neg_cols]
+        X = X + self._var_shifts[None, :]
+        objectives = self._sign * (result.objectives + c0)
+        ok = np.array(
+            [s is SolveStatus.OPTIMAL for s in result.statuses], dtype=bool
+        )
+        self.solve_seconds += time.perf_counter() - start
+        return TemplateSlabResult(
+            statuses=result.statuses,
+            objectives=objectives,
+            x=X,
+            ok=ok,
+            iterations=result.iterations,
+            warm=result.warm,
+        )
 
     # -- state ----------------------------------------------------------------
     def reset_state(self) -> None:

@@ -1,0 +1,333 @@
+"""Tests for StandardForm-level presolve (`repro.solver.sf_presolve`).
+
+Presolve must be *solution-exact over the declared rhs range*: for every
+rhs inside ``[b_lo, b_hi]`` the reduced LP's recovered solution and
+objective equal the unreduced solve's. The property tests below draw
+random rhs vectors for template structures shaped like each of the four
+built-in domains and require presolve(on) == presolve(off).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.solver import (
+    LpTemplate,
+    Model,
+    SolveStatus,
+    presolve_standard_form,
+    quicksum,
+)
+from repro.solver.standard_form import from_matrix_form
+
+
+def standard_form_of(model):
+    return from_matrix_form(model.to_matrix_form(), normalize=False)
+
+
+class TestReductions:
+    def test_infeasible_by_bounds(self):
+        model = Model("infeas", sense="max")
+        x = model.add_var("x", lb=0.0)
+        model.add_constraint(x >= 5.0, name="floor")
+        model.add_constraint(x <= 1.0, name="cap")
+        model.set_objective(x)
+        sf = standard_form_of(model)
+        ps = presolve_standard_form(sf)
+        assert ps.infeasible
+        template = LpTemplate(model, presolve=True)
+        solution = template.solve()
+        assert solution.status is SolveStatus.INFEASIBLE
+        # matches the unpresolved verdict
+        assert (
+            LpTemplate(model, presolve=False).solve().status
+            is SolveStatus.INFEASIBLE
+        )
+
+    def test_all_rows_redundant_leaves_trivial_lp(self):
+        model = Model("trivial", sense="min")
+        x = model.add_var("x", lb=0.0)
+        y = model.add_var("y", lb=0.0)
+        model.add_constraint(x <= 0.0, name="pin")
+        model.add_constraint(x <= 3.0, name="loose")
+        model.set_objective(x + y)
+        sf = standard_form_of(model)
+        ps = presolve_standard_form(sf)
+        assert not ps.infeasible
+        # x is fixed at 0, both rows become provably redundant
+        assert ps.stats.columns_fixed == 1
+        assert ps.stats.rows_dropped == 2
+        assert ps.sf.a.shape[0] == 0
+        template = LpTemplate(model, presolve=True)
+        solution = template.solve()
+        assert solution.is_optimal
+        assert solution.objective == pytest.approx(0.0)
+        assert solution.values[x] == 0.0
+        assert solution.values[y] == 0.0
+
+    def test_fixed_variable_recovery_round_trip(self):
+        model = Model("fixed", sense="max")
+        x = model.add_var("x", lb=0.0)
+        y = model.add_var("y", lb=0.0)
+        z = model.add_var("z", lb=0.0)
+        model.add_constraint(x <= 0.0, name="pin_x")
+        model.add_constraint(x + y <= 1.0, name="cap_xy")
+        model.add_constraint(z <= 2.0, name="cap_z")
+        model.set_objective(2.0 * x + y + z)
+        on = LpTemplate(model, presolve=True)
+        off = LpTemplate(model, presolve=False)
+        assert on._presolved is not None
+        assert on._presolved.stats.columns_fixed == 1
+        s_on, s_off = on.solve(), off.solve()
+        assert s_on.is_optimal and s_off.is_optimal
+        assert s_on.objective == pytest.approx(s_off.objective, abs=1e-9)
+        for var in (x, y, z):
+            assert s_on.values[var] == pytest.approx(
+                s_off.values[var], abs=1e-9
+            )
+        assert s_on.values[x] == 0.0  # fixed value re-enters bitwise
+
+    def test_expand_y_scatters_exactly(self):
+        model = Model("scatter", sense="max")
+        x = model.add_var("x", lb=0.0)
+        y = model.add_var("y", lb=0.0)
+        model.add_constraint(x <= 0.0, name="pin")
+        model.add_constraint(y <= 1.0, name="cap")
+        model.add_constraint(x + y <= 9.0, name="loose")
+        model.set_objective(x + y)
+        sf = standard_form_of(model)
+        ps = presolve_standard_form(sf)
+        assert ps.sf.a.shape[1] < sf.a.shape[1]
+        reduced_y = np.arange(1.0, ps.sf.a.shape[1] + 1)
+        full = ps.expand_y(reduced_y)
+        assert full.shape == (sf.a.shape[1],)
+        assert np.array_equal(full[ps.keep_cols], reduced_y)
+        assert np.array_equal(full[ps.removed_cols], ps.removed_vals)
+        # batched form round-trips too
+        batch = np.tile(reduced_y, (3, 1))
+        assert np.array_equal(ps.expand_y(batch)[2], full)
+
+    def test_self_certified_bound_rows_not_all_dropped(self):
+        """Regression: duplicate cap rows must keep one copy.
+
+        Three parallel copies of ``x <= 50`` each make the others look
+        redundant under the implied bound ``u_x = 50`` — but that bound
+        is certified *by these rows*, so dropping all three would lose
+        the constraint entirely. At least one copy must survive and the
+        optimum must stay 50.
+        """
+        model = Model("dup", sense="max")
+        x = model.add_var("x", lb=0.0)
+        model.add_constraint(x <= 100.0, name="loose")
+        for i in range(3):
+            model.add_constraint(x <= 50.0, name=f"cap{i}")
+        model.set_objective(x)
+        sf = standard_form_of(model)
+        ps = presolve_standard_form(sf)
+        dropped = {r.target for r in ps.reductions if r.kind == "drop_row"}
+        assert len(dropped & {1, 2, 3}) <= 2  # one duplicate survives
+        solution = LpTemplate(model, presolve=True).solve()
+        assert solution.objective == pytest.approx(50.0)
+
+    def test_reduce_b_rejects_out_of_range_rhs(self):
+        model = Model("range", sense="max")
+        x = model.add_var("x", lb=0.0)
+        model.add_constraint(x <= 1.0, name="cap")
+        model.set_objective(x)
+        template = LpTemplate(
+            model, presolve=True, rhs_ranges={"cap": (0.0, 5.0)}
+        )
+        ps = template._presolved
+        assert ps is not None
+        ps.reduce_b(np.array([5.0]))  # in range
+        with pytest.raises(ModelError):
+            ps.reduce_b(np.array([6.0]))
+        with pytest.raises(ModelError):
+            ps.reduce_b(np.array([[-1.0]]))
+
+    def test_identity_when_nothing_reducible(self):
+        model = Model("tight", sense="max")
+        x = model.add_var("x", lb=0.0)
+        y = model.add_var("y", lb=0.0)
+        model.add_constraint(x + y <= 1.0, name="cap")
+        model.set_objective(x + 2.0 * y)
+        sf = standard_form_of(model)
+        ps = presolve_standard_form(sf)
+        assert ps.identity
+        assert ps.stats.rows_dropped == 0
+        assert ps.stats.columns_fixed == 0
+
+
+# ---------------------------------------------------------------------------
+# property: presolve(on) == presolve(off) on domain-shaped templates
+# ---------------------------------------------------------------------------
+
+
+def te_templates():
+    """The real TE templates (fig. 1a), parametric demand rows."""
+    from repro.domains.te import (
+        build_demand_set,
+        fig1a_demand_pairs,
+        fig1a_topology,
+    )
+    from repro.domains.te.optimal import build_optimal_te_model
+    from repro.domains.te.pinning import build_pinning_template_model
+
+    ds = build_demand_set(fig1a_topology(), fig1a_demand_pairs(), num_paths=2)
+    d_max = 100.0
+    full = {key: d_max for key in ds.keys}
+    ranges = {f"dem[{key}]": (0.0, d_max) for key in ds.keys}
+    opt_model, _ = build_optimal_te_model(ds, full)
+    dp_model, _ = build_pinning_template_model(ds, d_max)
+    dp_ranges = dict(ranges)
+    for demand in ds.demands:
+        for path in demand.paths[1:]:
+            dp_ranges[f"blk[{demand.key}|{path.name}]"] = (0.0, d_max)
+    return [("te-opt", opt_model, ranges), ("te-dp", dp_model, dp_ranges)]
+
+
+def binpack_template():
+    """Fractional VBP relaxation: assignment rows + parametric bin caps."""
+    sizes = [0.6, 0.5, 0.4, 0.3]
+    bins = 3
+    model = Model("vbp_lp", sense="min")
+    x = {
+        (i, j): model.add_var(f"x[{i}|{j}]", lb=0.0)
+        for i in range(len(sizes))
+        for j in range(bins)
+    }
+    for i in range(len(sizes)):
+        model.add_constraint(
+            quicksum(x[i, j] for j in range(bins)) == 1.0, name=f"assign[{i}]"
+        )
+        for j in range(bins):
+            model.add_constraint(x[i, j] <= 1.0, name=f"frac[{i}|{j}]")
+    for j in range(bins):
+        model.add_constraint(
+            quicksum(sizes[i] * x[i, j] for i in range(len(sizes))) <= 1.0,
+            name=f"cap[{j}]",
+        )
+    model.set_objective(
+        quicksum((j + 1) * x[i, j] for (i, j) in x)
+    )
+    ranges = {f"cap[{j}]": (0.8, 1.5) for j in range(bins)}
+    return "binpack-lp", model, ranges
+
+
+def sched_template():
+    """Fractional makespan relaxation: parametric machine-load caps."""
+    durations = [3.0, 2.0, 2.0, 1.0]
+    machines = 2
+    model = Model("sched_lp", sense="max")
+    x = {
+        (i, j): model.add_var(f"x[{i}|{j}]", lb=0.0)
+        for i in range(len(durations))
+        for j in range(machines)
+    }
+    for i in range(len(durations)):
+        model.add_constraint(
+            quicksum(x[i, j] for j in range(machines)) <= 1.0,
+            name=f"once[{i}]",
+        )
+    for j in range(machines):
+        model.add_constraint(
+            quicksum(
+                durations[i] * x[i, j] for i in range(len(durations))
+            )
+            <= 4.0,
+            name=f"load[{j}]",
+        )
+    model.set_objective(quicksum(durations[i] * v for (i, _), v in x.items()))
+    ranges = {f"load[{j}]": (1.0, 6.0) for j in range(machines)}
+    return "sched-lp", model, ranges
+
+
+def caching_template():
+    """Fractional Belady relaxation: keep fractions under a cache cap."""
+    weights = [5.0, 4.0, 3.0, 2.0, 1.0]
+    model = Model("cache_lp", sense="max")
+    keep = [
+        model.add_var(f"keep[{i}]", lb=0.0) for i in range(len(weights))
+    ]
+    for i, k in enumerate(keep):
+        model.add_constraint(k <= 1.0, name=f"unit[{i}]")
+    model.add_constraint(quicksum(keep) <= 2.0, name="capacity")
+    model.set_objective(
+        quicksum(w * k for w, k in zip(weights, keep))
+    )
+    ranges = {"capacity": (1.0, float(len(weights)))}
+    return "caching-lp", model, ranges
+
+
+def all_domain_templates():
+    return te_templates() + [
+        binpack_template(),
+        sched_template(),
+        caching_template(),
+    ]
+
+
+@pytest.mark.parametrize(
+    "name,model,ranges",
+    all_domain_templates(),
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_presolve_preserves_solutions(name, model, ranges):
+    """Property: presolve(on) == presolve(off) over random in-range rhs."""
+    on = LpTemplate(model, presolve=True, rhs_ranges=ranges)
+    off = LpTemplate(model, presolve=False)
+    rng = np.random.default_rng(abs(hash(name)) % 2 ** 32)
+    names = sorted(ranges)
+    for _ in range(25):
+        for cname in names:
+            lo, hi = ranges[cname]
+            value = float(rng.uniform(lo, hi))
+            on.set_rhs(cname, value)
+            off.set_rhs(cname, value)
+        s_on, s_off = on.solve(), off.solve()
+        assert s_on.status == s_off.status, name
+        if s_on.is_optimal:
+            assert s_on.objective == pytest.approx(
+                s_off.objective, abs=1e-7
+            ), name
+
+
+@pytest.mark.parametrize(
+    "name,model,ranges",
+    all_domain_templates(),
+    ids=lambda v: v if isinstance(v, str) else "",
+)
+def test_presolve_slab_engines_agree(name, model, ranges):
+    """Slab property: presolved tensor == presolved scalar bitwise, and
+    both match the unpresolved slab within tolerance."""
+    K = 16
+    rng = np.random.default_rng(abs(hash(name + "slab")) % 2 ** 32)
+    results = {}
+    B_model = None
+    names = sorted(ranges)
+    for mode, presolve in (("on", True), ("off", False)):
+        for engine in ("tensor", "scalar"):
+            template = LpTemplate(
+                model,
+                presolve=presolve,
+                rhs_ranges=ranges if presolve else None,
+            )
+            if B_model is None:
+                lows = np.array([ranges[c][0] for c in names])
+                highs = np.array([ranges[c][1] for c in names])
+                B_model = rng.uniform(lows, highs, size=(K, len(names)))
+            B = np.tile(template.base_rhs(), (K, 1))
+            rows, signs, shifts = template.rhs_map(names)
+            B[:, rows] = signs * B_model - shifts
+            results[(mode, engine)] = template.solve_slab(B, engine=engine)
+    for mode in ("on", "off"):
+        a, b = results[(mode, "tensor")], results[(mode, "scalar")]
+        assert a.statuses == b.statuses, name
+        assert np.array_equal(a.objectives, b.objectives, equal_nan=True)
+        assert np.array_equal(a.x, b.x)
+        assert np.array_equal(a.iterations, b.iterations)
+    on, off = results[("on", "tensor")], results[("off", "tensor")]
+    assert on.statuses == off.statuses, name
+    ok = on.ok
+    assert np.allclose(on.objectives[ok], off.objectives[ok], atol=1e-7)
+    assert np.allclose(on.x[ok], off.x[ok], atol=1e-7)
