@@ -252,6 +252,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="gc the store down to this many campaigns after each run "
         "(0 keeps everything)",
     )
+    serve.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="service logging threshold (requests log at info)",
+    )
     _add_workers(serve)
 
     fabric = sub.add_parser(
@@ -298,6 +304,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=10.0,
         help="work-unit lease duration; a dead worker's unit is "
         "requeued within roughly this long",
+    )
+    fabric_serve.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="service logging threshold (requests log at info)",
     )
     _add_workers(fabric_serve)
     fabric_status = fabric_sub.add_parser(
@@ -647,6 +659,7 @@ def cmd_serve(args) -> int:
         port=DEFAULT_PORT if args.port is None else args.port,
         workers=args.workers,
         retention=args.retention,
+        log_level=args.log_level,
     )
     return 0
 
@@ -667,6 +680,7 @@ def cmd_fabric(args) -> int:
             executor="fabric",
             max_pending=args.max_pending,
             lease_seconds=args.lease_seconds,
+            log_level=args.log_level,
         )
         return 0
     if args.fabric_command == "status":

@@ -27,6 +27,7 @@ from repro.exceptions import AnalyzerError
 from repro.explain.heatmap import build_heatmap
 from repro.explain.report import explain_heatmap
 from repro.explain.summarize import summarize_heatmap
+from repro.obs.tracing import span as _span
 from repro.parallel.shard import (
     STAGE_EXPLAIN,
     STAGE_GENERALIZE,
@@ -155,34 +156,41 @@ class XPlain:
                 config.generator,
                 policy=policy,
             )
-            generator_report = generator.run()
+            with _span("stage.generate"):
+                generator_report = generator.run()
 
             # Type 2: explain each significant subspace (§5.3). Each
             # subspace owns a derived random stream (shard→seed), so the
             # explanations are order-free and independently schedulable.
-            explained = [
-                self._explain(
-                    subspace,
-                    np.random.default_rng(
-                        derive_seed(config.seed, STAGE_EXPLAIN, i)
-                    ),
-                )
-                for i, subspace in enumerate(generator_report.subspaces)
-            ]
+            with _span(
+                "stage.explain", subspaces=len(generator_report.subspaces)
+            ):
+                explained = [
+                    self._explain(
+                        subspace,
+                        np.random.default_rng(
+                            derive_seed(config.seed, STAGE_EXPLAIN, i)
+                        ),
+                    )
+                    for i, subspace in enumerate(generator_report.subspaces)
+                ]
 
             # Type 3: within-instance generalization (§5.4). Cross-instance
             # generalization needs an instance generator and is driven
             # explicitly (see repro.generalize.observe_across_instances).
             generalization = None
             if config.generalizer_samples > 0 and self.problem.features:
-                observations = observe_within_instance(
-                    self.problem,
-                    config.generalizer_samples,
-                    np.random.default_rng(
-                        derive_seed(config.seed, STAGE_GENERALIZE, 0)
-                    ),
-                )
-                generalization = EnumerativeGeneralizer().search(observations)
+                with _span("stage.generalize"):
+                    observations = observe_within_instance(
+                        self.problem,
+                        config.generalizer_samples,
+                        np.random.default_rng(
+                            derive_seed(config.seed, STAGE_GENERALIZE, 0)
+                        ),
+                    )
+                    generalization = EnumerativeGeneralizer().search(
+                        observations
+                    )
         finally:
             self.problem.oracle.use_executor(None)
             executor.close()

@@ -43,6 +43,8 @@ from repro.fabric.chaos import (
 )
 from repro.fabric.queue import WorkQueue
 from repro.fabric.units import EnvelopeRunner
+from repro.obs import runtime as _obs
+from repro.obs.fleet import write_worker_snapshot
 
 
 class _Heartbeat:
@@ -111,6 +113,26 @@ def worker_main(
     else:
         monkey = ChaosMonkey.from_env(worker_id)
     runner = EnvelopeRunner()
+    # With a metrics spill directory in the environment (the service or
+    # fabric supervisor exports XPLAIN_METRICS_DIR), this worker gets an
+    # in-process registry and persists a cumulative snapshot of it after
+    # every unit; the service merges all worker snapshots at scrape
+    # time. No directory -> no registry -> every hook stays a no-op.
+    metrics_dir = os.environ.get(_obs.METRICS_DIR_ENV)
+    metrics = _obs.install() if metrics_dir else None
+
+    def spill_metrics() -> None:
+        if metrics is None:
+            return
+        try:
+            write_worker_snapshot(metrics_dir, worker_id, metrics)
+        except OSError:
+            pass  # a full disk must not kill the worker
+
+    def count(name: str, help_text: str) -> None:
+        if metrics is not None:
+            metrics.counter_inc(name, 1, help=help_text, worker=worker_id)
+
     claims = 0
     done = 0
     idle_since = time.monotonic()
@@ -130,6 +152,7 @@ def worker_main(
             continue
         idle_since = time.monotonic()
         claims += 1
+        count("xplain_fabric_worker_claims_total", "units claimed by worker")
         unit_id = claimed["unit_id"]
         rule = monkey.rule_for(claims)
         if rule is not None and rule.action == "kill":
@@ -155,15 +178,25 @@ def worker_main(
                 worker_id,
                 f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
             )
+            count(
+                "xplain_fabric_worker_failures_total",
+                "unit executions that raised on this worker",
+            )
+            spill_metrics()
             continue
         if heartbeat is not None:
             heartbeat.stop()
         if rule is not None and rule.action == "crash_before_commit":
             os._exit(EXIT_BEFORE_COMMIT)
         queue.commit(unit_id, worker_id, result)
+        count("xplain_fabric_worker_commits_total", "units committed by worker")
+        spill_metrics()
         if rule is not None and rule.action == "crash_after_commit":
             os._exit(EXIT_AFTER_COMMIT)
         done += 1
         if max_units is not None and done >= max_units:
             break
+    spill_metrics()
+    if metrics is not None:
+        _obs.uninstall()
     queue.mark_worker(worker_id, "stopped")

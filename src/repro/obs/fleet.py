@@ -1,0 +1,62 @@
+"""Per-worker metric snapshots: how fleet metrics reach ``/metrics``.
+
+Fabric workers are separate processes; their in-process registries
+(oracle batch latencies, slab engine mix, claim/commit counters) would
+die with them. Instead each worker spills its registry's snapshot to
+``<dir>/<worker_id>.json`` after every unit — an atomic
+write-to-temp-then-rename, so a reader never sees a torn file — and the
+service merges every snapshot in the directory into the scrape
+response. Merge semantics come from
+:meth:`~repro.obs.metrics.MetricsRegistry.merge`: counters and
+histograms add across workers, gauges are per-worker-labelled.
+
+A worker's file is a *cumulative* snapshot of its whole life, so the
+merge must happen into a throwaway registry at scrape time (never into
+the service's own accumulating registry, which would double-count every
+scrape). :func:`merged_snapshot` does exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["write_worker_snapshot", "merged_snapshot"]
+
+
+def write_worker_snapshot(
+    directory: str | Path, worker_id: str, registry: MetricsRegistry
+) -> Path:
+    """Atomically persist one worker's cumulative metrics snapshot."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{worker_id}.json"
+    tmp = directory / f".{worker_id}.json.tmp"
+    tmp.write_text(json.dumps(registry.snapshot(), sort_keys=True))
+    os.replace(tmp, path)
+    return path
+
+
+def merged_snapshot(
+    base: MetricsRegistry, directory: str | Path | None
+) -> dict:
+    """``base``'s snapshot plus every worker snapshot under ``directory``.
+
+    Unreadable or torn files are skipped — a scrape must never 500
+    because a worker died mid-write (the atomic rename makes that
+    near-impossible anyway).
+    """
+    merged = MetricsRegistry()
+    merged.merge(base.snapshot())
+    if directory is not None:
+        directory = Path(directory)
+        if directory.is_dir():
+            for path in sorted(directory.glob("*.json")):
+                try:
+                    merged.merge(json.loads(path.read_text()))
+                except (OSError, ValueError):
+                    continue
+    return merged.snapshot()

@@ -24,6 +24,8 @@ import time
 import numpy as np
 
 from repro.analyzer.interface import AnalyzedProblem, GapSample, GapSamples
+from repro.obs import runtime as _obs
+from repro.obs.tracing import span as _span
 from repro.oracle.cache import DEFAULT_RESOLUTION, GapCache
 from repro.oracle.stats import OracleStats
 
@@ -94,7 +96,10 @@ class OracleEngine:
         self.stats.cache_misses += len(miss_indices)
 
         if miss_indices:
-            fresh = self._dispatch(xs[miss_indices])
+            with _span(
+                "oracle.batch", points=n, misses=len(miss_indices)
+            ):
+                fresh = self._dispatch(xs[miss_indices])
             for j, i in enumerate(miss_indices):
                 benchmark[i] = fresh.benchmark_values[j]
                 heuristic[i] = fresh.heuristic_values[j]
@@ -107,7 +112,19 @@ class OracleEngine:
                         bool(feasible[i]),
                     )
 
-        self.stats.eval_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.stats.eval_seconds += elapsed
+        # Live batch-latency histogram (counter totals come from the
+        # campaign driver's report fold, never from here — that split is
+        # what makes double counting impossible). One None check per
+        # *batch*; uninstrumented runs pay nothing else.
+        registry = _obs.registry()
+        if registry is not None:
+            registry.histogram_observe(
+                "xplain_oracle_batch_seconds",
+                elapsed,
+                help="oracle engine wall-clock per evaluate_many batch",
+            )
         return GapSamples(xs, benchmark, heuristic, feasible)
 
     # ------------------------------------------------------------------

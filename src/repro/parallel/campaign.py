@@ -34,6 +34,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.exceptions import AnalyzerError, CampaignInterrupted
+from repro.obs import runtime as _obs
+from repro.obs.fold import fold_campaign_report, fold_unit_report
+from repro.obs.tracing import (
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    span as _span,
+)
 from repro.oracle.stats import OracleStats
 from repro.parallel.executor import ProcessExecutor, SerialExecutor
 from repro.parallel.shard import STAGE_CAMPAIGN, derive_seed
@@ -255,10 +264,33 @@ def execute_job(job_payload: dict) -> dict:
     # depend on what the store already holds — so persistence inside
     # campaign units is off; the campaign-level store is the driver's.
     config.store_path = None
-    report = XPlain(problem, config).run()
-    return unit_report(
+    # Span tracing rides the XPLAIN_OBS environment (or an installed
+    # registry), never the payload — content-addressed run IDs must not
+    # change when observability toggles. The unit gets its own tracer;
+    # the driver's tracer (serial executor runs in-process) is restored
+    # afterwards. Spans land under "timing", which deterministic_view
+    # strips, so instrumented and plain reports stay bit-identical.
+    tracer = Tracer() if _obs.tracing_enabled() else None
+    previous = current_tracer()
+    if tracer is not None:
+        activate(tracer)
+    try:
+        with _span("unit", unit=job_payload["name"], seed=seed):
+            report = XPlain(problem, config).run()
+    finally:
+        if tracer is not None:
+            if previous is not None:
+                activate(previous)
+            else:
+                deactivate()
+    out = unit_report(
         job_payload["name"], spec, seed, problem, report, config=config
     )
+    if tracer is not None:
+        out["timing"]["spans"] = tracer.to_list()
+        if tracer.dropped:
+            out["timing"]["spans_dropped"] = tracer.dropped
+    return out
 
 
 def unit_report(
@@ -357,6 +389,7 @@ def run_campaign(
     store=None,
     executor=None,
     should_stop=None,
+    metrics=None,
 ) -> dict:
     """Fan the campaign's jobs across a pool and aggregate the reports.
 
@@ -383,8 +416,18 @@ def run_campaign(
     raises :class:`~repro.exceptions.CampaignInterrupted` — every unit
     finished before the stop is already persisted, so a restart resumes
     instead of recomputing (the service's graceful-drain path).
+
+    ``metrics`` is an optional :class:`~repro.obs.metrics.
+    MetricsRegistry`; it defaults to the process-installed one (usually
+    ``None``). The driver folds every finished unit report into it —
+    the one place authoritative oracle/solver/search totals enter the
+    metrics, identically for serial, pooled, and fabric execution.
+    Folding observes completed reports only, so it cannot perturb them.
     """
     from repro.store.ids import campaign_id_for, run_id_for
+
+    if metrics is None:
+        metrics = _obs.registry()
 
     if not isinstance(workers, int) or workers < 1:
         raise AnalyzerError(
@@ -412,6 +455,8 @@ def run_campaign(
                 report["timing"]["resumed"] = True
                 results[index] = report
                 resumed += 1
+                if metrics is not None:
+                    fold_unit_report(metrics, report)
             else:
                 pending.append(index)
     else:
@@ -422,23 +467,33 @@ def run_campaign(
     if owns_executor:
         executor = ProcessExecutor(workers) if workers > 1 else SerialExecutor()
     completed = resumed
+    # The driver gets its own campaign tracer (units carry theirs inside
+    # their "timing" blocks); spans attach to the campaign report's
+    # timing, which deterministic_view strips.
+    tracer = None
+    previous_tracer = current_tracer()
+    if _obs.tracing_enabled() and previous_tracer is None:
+        tracer = activate(Tracer())
     try:
-        # Results stream back in unit order and are persisted one by
-        # one: a failure after k units leaves k completed runs behind.
-        for index, result in zip(pending, executor.iter_units(units)):
-            result["run_id"] = run_ids[index]
-            results[index] = result
-            if store is not None:
-                store.record_run(run_ids[index], payloads[index], result)
-            completed += 1
-            if should_stop is not None and should_stop():
-                if completed < len(payloads):
-                    if store is not None:
-                        store.set_campaign_status(campaign_id, "pending")
-                    raise CampaignInterrupted(
-                        campaign_id, completed, len(payloads)
-                    )
-                break  # stop landed after the final unit: finish normally
+        with _span("campaign", campaign=spec.name, units=len(payloads)):
+            # Results stream back in unit order and are persisted one by
+            # one: a failure after k units leaves k completed runs behind.
+            for index, result in zip(pending, executor.iter_units(units)):
+                result["run_id"] = run_ids[index]
+                results[index] = result
+                if store is not None:
+                    store.record_run(run_ids[index], payloads[index], result)
+                if metrics is not None:
+                    fold_unit_report(metrics, result)
+                completed += 1
+                if should_stop is not None and should_stop():
+                    if completed < len(payloads):
+                        if store is not None:
+                            store.set_campaign_status(campaign_id, "pending")
+                        raise CampaignInterrupted(
+                            campaign_id, completed, len(payloads)
+                        )
+                    break  # stop landed after the final unit: finish normally
     except CampaignInterrupted:
         raise
     except Exception as exc:
@@ -446,6 +501,8 @@ def run_campaign(
             store.set_campaign_status(campaign_id, "failed", error=str(exc))
         raise
     finally:
+        if tracer is not None:
+            deactivate()
         if owns_executor:
             executor.close()
 
@@ -475,6 +532,12 @@ def run_campaign(
             **stats_timing,
         },
     }
+    if tracer is not None:
+        report["timing"]["spans"] = tracer.to_list()
+        if tracer.dropped:
+            report["timing"]["spans_dropped"] = tracer.dropped
+    if metrics is not None:
+        fold_campaign_report(metrics, report)
     if store is not None:
         store.set_campaign_status(campaign_id, "done", report=report)
 

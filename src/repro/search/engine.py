@@ -30,6 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import runtime as _obs
+from repro.obs.tracing import span as _span
 from repro.search.budget import BudgetLedger
 from repro.search.cells import Cell, covered_by_any
 from repro.search.trace import MAX_TRACED_CELLS, CellScore, SearchRound, SearchTrace
@@ -166,7 +168,13 @@ class AdaptiveSearchEngine:
                 batches = self._truncate(batches, granted)
 
             stacked = np.vstack([p for _, p in batches])
-            gaps = self.problem.evaluate_many(stacked).gaps
+            with _span(
+                "search.round",
+                stage=self.stage,
+                index=round_index,
+                granted=granted,
+            ):
+                gaps = self.problem.evaluate_many(stacked).gaps
             if self.target_gap is not None and evals_to_target is None:
                 hit_positions = np.flatnonzero(gaps >= self.target_gap)
                 need = self.target_hits - hits_seen
@@ -186,8 +194,34 @@ class AdaptiveSearchEngine:
                 best_gap = float(gaps[batch_best])
                 best_x = stacked[batch_best].copy()
 
+            frontier_before = sum(1 for c in cells if c.status == "frontier")
             pruned_volume += self._prune(cells, best_gap)
+            pruned_now = frontier_before - sum(
+                1 for c in cells if c.status == "frontier"
+            )
+            cells_before = len(cells)
             self._refine(cells, chosen, best_gap)
+            refined_now = (len(cells) - cells_before) // 2
+            registry = _obs.registry()
+            if registry is not None:
+                registry.counter_inc(
+                    "xplain_search_rounds_total",
+                    1,
+                    help="bandit search rounds executed",
+                    stage=self.stage,
+                )
+                if pruned_now:
+                    registry.counter_inc(
+                        "xplain_search_cells_pruned_total",
+                        pruned_now,
+                        help="frontier cells retired as provably boring",
+                    )
+                if refined_now:
+                    registry.counter_inc(
+                        "xplain_search_cells_refined_total",
+                        refined_now,
+                        help="frontier cells split at their best CART cut",
+                    )
             self._record_round(
                 round_index,
                 cells,

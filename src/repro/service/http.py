@@ -18,8 +18,14 @@ Endpoints (all JSON):
 * ``GET  /fabric``               — lease-queue and worker-fleet health
   (unit states, counters, live leases, quarantined units, restarts);
   404 when the service runs in local mode;
-* ``GET  /healthz``              — liveness (also checks the store);
-* ``GET  /version``              — ``repro.__version__``.
+* ``GET  /healthz``              — liveness, version, executor mode,
+  uptime, and store reachability in one body;
+* ``GET  /version``              — ``repro.__version__``;
+* ``GET  /metrics``              — Prometheus text exposition (oracle,
+  solver, search, fabric, and HTTP metrics; DESIGN.md §15). Scrapes are
+  read-only: they render a merged snapshot and mutate nothing;
+* ``GET  /dashboard``            — the self-contained operator dashboard
+  (one HTML page polling this JSON API; no external assets).
 
 Error discipline: every failure is a JSON body. Malformed JSON and bad
 parameters are 400, unknown paths 404, unsupported methods 405 (with an
@@ -35,12 +41,24 @@ campaigns.
 from __future__ import annotations
 
 import json
+import logging
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
 import repro
 from repro.exceptions import AnalyzerError, ServiceBusy
+from repro.obs import (
+    EXPOSITION_CONTENT_TYPE,
+    METRICS_DIR_ENV,
+    enable_env,
+    install,
+    render_prometheus,
+)
+from repro.service.dashboard import DASHBOARD_HTML
 from repro.service.service import AnalysisService
+
+logger = logging.getLogger("repro.service")
 
 #: default service port (a random-ish high port, not 8080, to keep out
 #: of the way of whatever else a dev box is running)
@@ -63,12 +81,19 @@ class ServiceHandler(BaseHTTPRequestHandler):
 
     # -- plumbing -----------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # quiet by default; the CLI prints its own lines
+        # Through the stdlib logging tree, not stderr: embedders and the
+        # CLI's --log-level knob decide what (if anything) is printed.
+        logger.info(
+            "%s - %s", self.address_string(), format % args
+        )
 
     def _send(self, status: int, payload: dict) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
+        self._send_raw(status, "application/json", body)
+
+    def _send_raw(self, status: int, content_type: str, body: bytes) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
@@ -107,15 +132,62 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def do_HEAD(self) -> None:  # noqa: N802 - http.server API
         self._method_not_allowed()
 
+    # -- request metrics ----------------------------------------------------
+    def _route_template(self, parts: list[str]) -> str:
+        """A low-cardinality route label (IDs collapse to ``{id}``)."""
+        if not parts:
+            return "/"
+        head = parts[0]
+        if len(parts) == 1 and head in self._KNOWN_ROUTES:
+            return f"/{head}"
+        if head == "campaigns" and len(parts) == 2:
+            return "/campaigns/{id}"
+        if head == "runs" and len(parts) == 3 and parts[2] in (
+            "report",
+            "search",
+        ):
+            return "/runs/{id}/" + parts[2]
+        return "(unknown)"
+
+    def _observe(self, method: str, parts: list[str], started: float) -> None:
+        route = self._route_template(parts)
+        self.service.metrics.counter_inc(
+            "xplain_http_requests_total",
+            1,
+            help="API requests served",
+            method=method,
+            route=route,
+        )
+        self.service.metrics.histogram_observe(
+            "xplain_http_request_seconds",
+            time.perf_counter() - started,
+            help="API request wall-clock by route",
+            route=route,
+        )
+
     # -- routes -------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        started = time.perf_counter()
         parts = [p for p in urlparse(self.path).path.split("/") if p]
         try:
+            self._get(parts)
+        finally:
+            self._observe("GET", parts, started)
+
+    def _get(self, parts: list[str]) -> None:
+        try:
             if parts == ["healthz"]:
-                self.service.store.list_campaigns()  # store reachable?
-                self._send(
+                self._send(200, self.service.health_info())
+            elif parts == ["metrics"]:
+                text = render_prometheus(self.service.metrics_snapshot())
+                self._send_raw(
+                    200, EXPOSITION_CONTENT_TYPE, text.encode("utf-8")
+                )
+            elif parts == ["dashboard"]:
+                self._send_raw(
                     200,
-                    {"status": "ok", "worker_alive": self.service.running},
+                    "text/html; charset=utf-8",
+                    DASHBOARD_HTML.encode("utf-8"),
                 )
             elif parts == ["version"]:
                 self._send(200, {"version": repro.__version__})
@@ -164,11 +236,29 @@ class ServiceHandler(BaseHTTPRequestHandler):
             self._error(500, f"{type(exc).__name__}: {exc}")
 
     #: routes that only answer GET (a POST to them is a 405, not a 404)
-    _GET_ONLY = ("healthz", "version", "domains", "fabric", "runs")
+    _GET_ONLY = (
+        "healthz",
+        "version",
+        "domains",
+        "fabric",
+        "runs",
+        "metrics",
+        "dashboard",
+    )
+
+    #: every top-level route, for the metrics route label
+    _KNOWN_ROUTES = _GET_ONLY + ("campaigns",)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        started = time.perf_counter()
+        parts = [p for p in urlparse(self.path).path.split("/") if p]
+        try:
+            self._post(parts)
+        finally:
+            self._observe("POST", parts, started)
+
+    def _post(self, parts: list[str]) -> None:
         url = urlparse(self.path)
-        parts = [p for p in url.path.split("/") if p]
         if parts and parts[0] in self._GET_ONLY:
             self._error(
                 405,
@@ -264,9 +354,23 @@ def serve(
     executor: str = "local",
     max_pending: int = 0,
     lease_seconds: float = 10.0,
+    log_level: str = "warning",
 ) -> None:
     """Run the service until interrupted (``repro serve`` / ``repro
     fabric serve`` entry point)."""
+    import os
+
+    level = getattr(logging, log_level.upper(), None)
+    if not isinstance(level, int):
+        raise AnalyzerError(
+            f"unknown log level {log_level!r}; expected one of "
+            "debug, info, warning, error"
+        )
+    logging.basicConfig(
+        level=level,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    logging.getLogger("repro").setLevel(level)
     service = AnalysisService(
         store_path,
         workers=workers,
@@ -275,6 +379,14 @@ def serve(
         max_pending=max_pending,
         lease_seconds=lease_seconds,
     )
+    # The serve process is where observability goes global: the
+    # service's registry becomes the process registry (pipeline hooks
+    # feed it), tracing turns on for this process and its children, and
+    # fabric workers learn where to spill their metric snapshots —
+    # everything via the environment, nothing via unit payloads.
+    install(service.metrics)
+    enable_env()
+    os.environ[METRICS_DIR_ENV] = str(service.metrics_dir)
     service.start()
     server = make_server(service, host=host, port=port)
     actual_host, actual_port = server.server_address[:2]

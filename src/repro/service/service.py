@@ -29,10 +29,12 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 import traceback
 from pathlib import Path
 
 from repro.exceptions import AnalyzerError, CampaignInterrupted, ServiceBusy
+from repro.obs import MetricsRegistry, merged_snapshot
 from repro.parallel.campaign import (
     CampaignSpec,
     plan_campaign,
@@ -89,6 +91,15 @@ class AnalysisService:
         #: fabric infrastructure (executor="fabric" only), built on start()
         self._fabric_queue = None
         self._fabric_supervisor = None
+        #: the service's own metrics registry — deliberately *not* the
+        #: process-global one, so embedding a service (tests, notebooks)
+        #: never turns instrumentation on for unrelated code in the same
+        #: process. The CLI ``serve`` path installs it globally too.
+        self.metrics = MetricsRegistry()
+        #: where fabric workers spill per-worker metric snapshots (the
+        #: CLI exports this as XPLAIN_METRICS_DIR before the fleet forks)
+        self.metrics_dir = self.store.path / "fabric" / "metrics"
+        self.started_at = time.time()
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> "AnalysisService":
@@ -235,7 +246,16 @@ class AnalysisService:
 
     # -- queries ------------------------------------------------------------
     def campaign_status(self, campaign_id: str) -> dict | None:
-        return self.store.campaign(campaign_id)
+        """The stored campaign row plus a live progress fraction."""
+        row = self.store.campaign(campaign_id)
+        if row is None:
+            return None
+        runs = row.get("runs") or []
+        done = sum(1 for r in runs if r["status"] == "done")
+        row["units_total"] = len(runs)
+        row["units_done"] = done
+        row["progress"] = round(done / len(runs), 6) if runs else 0.0
+        return row
 
     def run_report(self, run_id: str) -> dict | None:
         return self.store.completed_report(run_id)
@@ -272,6 +292,113 @@ class AnalysisService:
             status["backlog"] = len(self._active)
         status["max_pending"] = self.max_pending
         return status
+
+    def health_info(self) -> dict:
+        """The ``GET /healthz`` body: liveness plus deploy identity.
+
+        One round trip tells an operator what is running (version,
+        executor mode), for how long, and whether the store behind it
+        answers queries.
+        """
+        import repro
+
+        try:
+            self.store.list_campaigns()
+            store_status = "ok"
+        except Exception as exc:  # noqa: BLE001 - health must not raise
+            store_status = f"error: {type(exc).__name__}: {exc}"
+        with self._lock:
+            backlog = len(self._active)
+        return {
+            "status": "ok" if self.running and store_status == "ok" else "degraded",
+            "worker_alive": self.running,
+            "version": repro.__version__,
+            "executor": self.executor,
+            "workers": self.workers,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "store": store_status,
+            "backlog": backlog,
+        }
+
+    # -- metrics ------------------------------------------------------------
+    def metrics_snapshot(self) -> dict:
+        """Everything ``GET /metrics`` exposes, as one merged snapshot.
+
+        The merge happens into a throwaway registry every scrape —
+        worker spill files are *cumulative*, so folding them into the
+        service's own accumulating registry would double-count. Scrapes
+        are therefore read-only: two back-to-back scrapes with no work
+        in between render identical exposition text.
+        """
+        gauges = MetricsRegistry()
+        gauges.gauge_set(
+            "xplain_service_uptime_seconds",
+            time.time() - self.started_at,
+            help="seconds since this service process started",
+        )
+        with self._lock:
+            backlog = len(self._active)
+        gauges.gauge_set(
+            "xplain_service_backlog",
+            backlog,
+            help="campaigns queued or running right now",
+        )
+        gauges.gauge_set(
+            "xplain_service_worker_alive",
+            1.0 if self.running else 0.0,
+            help="1 when the campaign worker thread is alive",
+        )
+        if self.executor == "fabric" and self._fabric_queue is not None:
+            self._fabric_gauges(gauges)
+        merged = MetricsRegistry()
+        merged.merge(self.metrics.snapshot())
+        merged.merge(gauges.snapshot())
+        return merged_snapshot(
+            merged, self.metrics_dir if self.metrics_dir.is_dir() else None
+        )
+
+    def _fabric_gauges(self, gauges: MetricsRegistry) -> None:
+        """Fabric queue/fleet state, synthesized fresh per scrape."""
+        try:
+            status = self._fabric_queue.status()
+        except Exception:  # noqa: BLE001 - a scrape must not 500
+            return
+        for unit_status, count in status.get("units", {}).items():
+            gauges.gauge_set(
+                "xplain_fabric_units",
+                count,
+                help="fabric queue units by status",
+                status=unit_status,
+            )
+        for event, value in status.get("counters", {}).items():
+            gauges.gauge_set(
+                "xplain_fabric_events",
+                value,
+                help="cumulative fabric queue events (queue counters table)",
+                event=event,
+            )
+        gauges.gauge_set(
+            "xplain_fabric_leases",
+            len(status.get("leases", [])),
+            help="units currently leased to workers",
+        )
+        gauges.gauge_set(
+            "xplain_fabric_quarantined",
+            len(status.get("quarantined", [])),
+            help="poison units quarantined after bounded retries",
+        )
+        if self._fabric_supervisor is not None:
+            fleet = self._fabric_supervisor.status()
+            gauges.gauge_set(
+                "xplain_fabric_fleet_alive",
+                fleet.get("alive", 0),
+                help="fabric worker processes currently alive",
+            )
+            gauges.gauge_set(
+                "xplain_fabric_fleet_restarts",
+                fleet.get("restarts", 0),
+                help="fabric worker processes restarted by the supervisor",
+            )
 
     # -- the worker ---------------------------------------------------------
     def _worker(self) -> None:
@@ -317,10 +444,19 @@ class AnalysisService:
                 store=self.store,
                 executor=executor,
                 should_stop=self._stop.is_set,
+                metrics=self.metrics,
             )
         finally:
             if executor is not None:
                 executor.close()
+        if self.retention > 0:
+            try:
+                self.store.gc(keep=self.retention)
+            except Exception:  # noqa: BLE001
+                # Retention is housekeeping: a gc hiccup (e.g. a lock
+                # timeout against a concurrent CLI) must not flip the
+                # just-completed campaign to failed.
+                traceback.print_exc()
 
     def _make_campaign_executor(self, campaign_id: str):
         """A FabricExecutor over the shared queue, or None for local mode."""
@@ -334,11 +470,3 @@ class AnalysisService:
             group_id=campaign_id,
             lease_seconds=self.lease_seconds,
         )
-        if self.retention > 0:
-            try:
-                self.store.gc(keep=self.retention)
-            except Exception:  # noqa: BLE001
-                # Retention is housekeeping: a gc hiccup (e.g. a lock
-                # timeout against a concurrent CLI) must not flip the
-                # just-completed campaign to failed.
-                traceback.print_exc()

@@ -38,6 +38,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.solver.simplex import (
     MAX_ITER_FACTOR,
     STALL_LIMIT,
@@ -116,6 +117,22 @@ def solve_slab(
         return SlabResult(
             [], np.empty(0), np.empty((0, n)),
             np.empty(0, dtype=np.int64), np.empty(0, dtype=bool), [],
+        )
+
+    registry = _obs.registry()
+    if registry is not None:
+        effective = "tensor" if engine == "tensor" and m > 0 else "scalar"
+        registry.counter_inc(
+            "xplain_solver_slab_solves_total",
+            1,
+            help="LP slab solves by effective engine",
+            engine=effective,
+        )
+        registry.counter_inc(
+            "xplain_solver_slab_instances_total",
+            K,
+            help="LP instances solved inside slabs, by effective engine",
+            engine=effective,
         )
 
     if engine == "tensor" and m > 0:

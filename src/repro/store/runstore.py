@@ -167,7 +167,11 @@ class RunStore:
             rows = conn.execute(
                 "SELECT campaign_id, name, seed, status, created_at, "
                 "updated_at, (SELECT COUNT(*) FROM campaign_runs cr "
-                " WHERE cr.campaign_id = campaigns.campaign_id) AS num_runs "
+                " WHERE cr.campaign_id = campaigns.campaign_id) AS num_runs, "
+                "(SELECT COUNT(*) FROM campaign_runs cr "
+                " JOIN runs r USING (run_id) "
+                " WHERE cr.campaign_id = campaigns.campaign_id "
+                " AND r.status = 'done') AS num_done "
                 "FROM campaigns ORDER BY created_at"
             ).fetchall()
         return [dict(r) for r in rows]

@@ -1,0 +1,132 @@
+"""A minimal Prometheus text-exposition (0.0.4) parser for tests.
+
+Just enough of the format to *validate* what ``/metrics`` serves — not a
+client library. ``parse()`` returns ``{family: {"type", "help",
+"samples"}}`` where samples map ``(sample_name, (sorted label items))``
+to a float, and raises ``ValueError`` on malformed lines, samples
+without a ``# TYPE``, or histogram bucket series whose cumulative
+counts decrease.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def _family_of(sample_name: str, types: dict) -> str:
+    """The family a sample line belongs to (histogram suffixes strip)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if types.get(base) == "histogram":
+                return base
+    return sample_name
+
+
+def parse(text: str) -> dict:
+    """Parse exposition text; raise ``ValueError`` on format violations."""
+    families: dict = {}
+    types: dict = {}
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            families.setdefault(
+                name, {"type": None, "help": "", "samples": {}}
+            )["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in ("counter", "gauge", "histogram"):
+                raise ValueError(f"unknown TYPE {kind!r} for {name!r}")
+            entry = families.setdefault(
+                name, {"type": None, "help": "", "samples": {}}
+            )
+            entry["type"] = kind
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed sample line: {line!r}")
+        labels_text = match.group("labels") or ""
+        labels = tuple(
+            sorted(
+                (k, v.replace('\\"', '"').replace("\\\\", "\\"))
+                for k, v in _LABEL_RE.findall(labels_text)
+            )
+        )
+        family = _family_of(match.group("name"), types)
+        if family not in families or families[family]["type"] is None:
+            raise ValueError(f"sample {line!r} has no preceding # TYPE")
+        families[family]["samples"][(match.group("name"), labels)] = (
+            _parse_value(match.group("value"))
+        )
+    _check_histograms(families)
+    return families
+
+
+def _check_histograms(families: dict) -> None:
+    """Cumulative bucket counts must be non-decreasing and end at +Inf."""
+    for name, entry in families.items():
+        if entry["type"] != "histogram":
+            continue
+        series: dict = {}
+        for (sample, labels), value in entry["samples"].items():
+            if not sample.endswith("_bucket"):
+                continue
+            rest = tuple(kv for kv in labels if kv[0] != "le")
+            le = dict(labels).get("le")
+            if le is None:
+                raise ValueError(f"{name} bucket without le label")
+            series.setdefault(rest, []).append((_parse_value(le), value))
+        if not series:
+            raise ValueError(f"histogram {name} has no bucket series")
+        for rest, buckets in series.items():
+            buckets.sort()
+            if buckets[-1][0] != math.inf:
+                raise ValueError(f"{name}{dict(rest)} is missing +Inf")
+            counts = [count for _, count in buckets]
+            if any(b < a for a, b in zip(counts, counts[1:])):
+                raise ValueError(
+                    f"{name}{dict(rest)} cumulative counts decrease: {counts}"
+                )
+            count_key = (f"{name}_count", rest)
+            if entry["samples"].get(count_key) != counts[-1]:
+                raise ValueError(
+                    f"{name}{dict(rest)} +Inf bucket != _count sample"
+                )
+
+
+def sample(families: dict, name: str, **labels) -> float | None:
+    """One sample's value, or None (labels must match exactly)."""
+    family = _family_of(name, {
+        k: v["type"] for k, v in families.items()
+    })
+    entry = families.get(family)
+    if entry is None:
+        return None
+    return entry["samples"].get(
+        (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+    )

@@ -1,0 +1,177 @@
+"""MetricsRegistry: instruments, snapshot/merge, exposition, fleet files."""
+
+import math
+import threading
+
+import pytest
+
+from promtext import parse, sample
+from repro.obs import (
+    MetricsRegistry,
+    merged_snapshot,
+    render_prometheus,
+    write_worker_snapshot,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("x_total", 1, help="h", domain="te")
+        reg.counter_inc("x_total", 2, domain="te")
+        reg.counter_inc("x_total", 5, domain="binpack")
+        snap = reg.snapshot()["x_total"]
+        assert snap["kind"] == "counter"
+        assert snap["samples"]['{"domain":"te"}'] == 3
+        assert snap["samples"]['{"domain":"binpack"}'] == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            MetricsRegistry().counter_inc("x_total", -1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("g", 1.5)
+        reg.gauge_set("g", 2.5)
+        assert reg.snapshot()["g"]["samples"][""] == 2.5
+
+    def test_kind_conflict_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("x_total", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge_set("x_total", 1)
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            reg.counter_inc("bad name", 1)
+        with pytest.raises(ValueError, match="invalid label name"):
+            reg.counter_inc("ok_total", 1, **{"bad-label": "v"})
+
+    def test_histogram_buckets_and_sum(self):
+        reg = MetricsRegistry()
+        for value in (0.003, 0.03, 0.3, 3.0, 30.0):
+            reg.histogram_observe("h_seconds", value, buckets=(0.01, 0.1, 1.0))
+        state = reg.snapshot()["h_seconds"]["samples"][""]
+        # per-bin storage: (<=0.01, <=0.1, <=1.0); 3.0 and 30.0 overflow
+        assert state["buckets"] == [1, 1, 1]
+        assert state["count"] == 5
+        assert state["sum"] == pytest.approx(33.333)
+
+    def test_thread_safety_under_contention(self):
+        reg = MetricsRegistry()
+
+        def spin():
+            for _ in range(500):
+                reg.counter_inc("spins_total", 1)
+                reg.histogram_observe("spin_seconds", 0.01)
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = reg.snapshot()
+        assert snap["spins_total"]["samples"][""] == 4000
+        assert snap["spin_seconds"]["samples"][""]["count"] == 4000
+
+
+class TestSnapshotMerge:
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, n in ((a, 2), (b, 3)):
+            reg.counter_inc("c_total", n)
+            reg.histogram_observe("h", 0.05, buckets=(0.1, 1.0))
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["c_total"]["samples"][""] == 5
+        assert snap["h"]["samples"][""]["count"] == 2
+
+    def test_merge_gauge_takes_incoming(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge_set("g", 1)
+        b.gauge_set("g", 7)
+        a.merge(b.snapshot())
+        assert a.snapshot()["g"]["samples"][""] == 7
+
+    def test_merge_rejects_bucket_layout_mismatch(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram_observe("h", 0.05, buckets=(0.1, 1.0))
+        b.histogram_observe("h", 0.05, buckets=(0.1,))
+        with pytest.raises(ValueError, match="bucket layout"):
+            a.merge(b.snapshot())
+
+    def test_snapshot_is_deep_copied(self):
+        reg = MetricsRegistry()
+        reg.histogram_observe("h", 0.05)
+        snap = reg.snapshot()
+        snap["h"]["samples"][""]["count"] = 999
+        assert reg.snapshot()["h"]["samples"][""]["count"] == 1
+
+
+class TestExposition:
+    def test_render_is_parseable_and_exact(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("jobs_total", 3, help="jobs", status="ok")
+        reg.gauge_set("depth", 2.5, help="queue depth")
+        reg.histogram_observe("lat_seconds", 0.02, buckets=(0.01, 0.1))
+        reg.histogram_observe("lat_seconds", 0.5, buckets=(0.01, 0.1))
+        families = parse(reg.render())
+        assert families["jobs_total"]["type"] == "counter"
+        assert sample(families, "jobs_total", status="ok") == 3
+        assert sample(families, "depth") == 2.5
+        # cumulative le semantics: 0 at 0.01, 1 at 0.1, 2 at +Inf
+        assert sample(families, "lat_seconds_bucket", le="0.01") == 0
+        assert sample(families, "lat_seconds_bucket", le="0.1") == 1
+        assert sample(families, "lat_seconds_bucket", le="+Inf") == 2
+        assert sample(families, "lat_seconds_count") == 2
+        assert sample(families, "lat_seconds_sum") == pytest.approx(0.52)
+
+    def test_label_values_escape(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("c_total", 1, path='say "hi"\\now')
+        text = reg.render()
+        assert '\\"hi\\"' in text and "\\\\" in text
+        families = parse(text)
+        assert families["c_total"]["samples"] != {}
+
+    def test_render_is_pure(self):
+        reg = MetricsRegistry()
+        reg.counter_inc("c_total", 2)
+        assert reg.render() == reg.render()
+
+    def test_infinity_formatting(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("g", math.inf)
+        assert "g +Inf" in reg.render()
+
+
+class TestFleetFiles:
+    def test_worker_snapshots_merge_without_double_count(self, tmp_path):
+        base = MetricsRegistry()
+        base.counter_inc("c_total", 1)
+        worker = MetricsRegistry()
+        worker.counter_inc("c_total", 10, worker="w0")
+        write_worker_snapshot(tmp_path, "w0", worker)
+        # cumulative spill: the worker rewrites its whole life each time
+        worker.counter_inc("c_total", 5, worker="w0")
+        write_worker_snapshot(tmp_path, "w0", worker)
+
+        merged = merged_snapshot(base, tmp_path)
+        assert merged["c_total"]["samples"][""] == 1
+        assert merged["c_total"]["samples"]['{"worker":"w0"}'] == 15
+        # scrape-time merge never mutates the base registry
+        assert base.snapshot()["c_total"]["samples"][""] == 1
+
+    def test_torn_files_are_skipped(self, tmp_path):
+        (tmp_path / "broken.json").write_text("{not json")
+        base = MetricsRegistry()
+        base.counter_inc("c_total", 2)
+        merged = merged_snapshot(base, tmp_path)
+        assert merged["c_total"]["samples"][""] == 2
+
+    def test_missing_directory_is_fine(self, tmp_path):
+        base = MetricsRegistry()
+        base.counter_inc("c_total", 2)
+        merged = merged_snapshot(base, tmp_path / "nope")
+        assert merged["c_total"]["samples"][""] == 2

@@ -1,0 +1,166 @@
+"""Tracer/span semantics, the runtime switchboard, and report folding."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    fold_campaign_report,
+    fold_unit_report,
+    install,
+    registry,
+    span,
+    tracing_enabled,
+    uninstall,
+)
+from repro.obs.runtime import OBS_ENV
+from repro.obs.tracing import _NOOP
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    yield
+    uninstall()
+    deactivate()
+
+
+class TestSpans:
+    def test_noop_without_active_tracer(self):
+        assert current_tracer() is None
+        assert span("anything") is _NOOP  # shared instance: no allocation
+
+    def test_spans_record_nesting_and_attrs(self):
+        tracer = activate(Tracer())
+        with span("outer", kind="campaign"):
+            with span("inner") as active:
+                active.annotate(points=7)
+        deactivate()
+        records = tracer.to_list()
+        assert [r["name"] for r in records] == ["outer", "inner"]
+        assert records[1]["parent"] == 0
+        assert "parent" not in records[0]
+        assert records[0]["attrs"] == {"kind": "campaign"}
+        assert records[1]["attrs"] == {"points": 7}
+        assert records[1]["duration"] <= records[0]["duration"]
+
+    def test_exception_marks_span_and_propagates(self):
+        tracer = activate(Tracer())
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        deactivate()
+        assert tracer.to_list()[0]["attrs"]["error"] == "RuntimeError"
+
+    def test_span_cap_counts_drops(self):
+        tracer = activate(Tracer(max_spans=2))
+        for _ in range(5):
+            with span("s"):
+                pass
+        deactivate()
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 3
+        assert tracer.summary() == {"spans": 2, "dropped": 3}
+
+    def test_dropped_spans_keep_parent_stack_sane(self):
+        tracer = activate(Tracer(max_spans=1))
+        with span("kept"):
+            with span("dropped"):
+                pass
+        with span("also_dropped"):
+            pass
+        deactivate()
+        assert [r["name"] for r in tracer.to_list()] == ["kept"]
+
+
+class TestRuntime:
+    def test_install_registry_roundtrip(self):
+        assert registry() is None
+        reg = install()
+        assert registry() is reg
+        assert isinstance(reg, MetricsRegistry)
+        uninstall()
+        assert registry() is None
+
+    def test_tracing_enabled_via_registry_or_env(self, monkeypatch):
+        monkeypatch.delenv(OBS_ENV, raising=False)
+        assert not tracing_enabled()
+        install()
+        assert tracing_enabled()
+        uninstall()
+        monkeypatch.setenv(OBS_ENV, "1")
+        assert tracing_enabled()
+
+
+def _unit_report(**overrides):
+    report = {
+        "name": "u0",
+        "problem": {"factory": "repro.domains.te:te_problem", "kwargs": {}},
+        "search": {"policy": "bandit", "oracle_calls": 40},
+        "num_subspaces": 2,
+        "oracle": {
+            "points": 100,
+            "cache_hits": 30,
+            "cache_misses": 70,
+            "native_batched": 70,
+            "scalar_fallback": 0,
+            "warm_solves": 60,
+            "cold_solves": 10,
+            "lp_iterations": 420,
+        },
+        "timing": {"runtime_seconds": 1.25},
+    }
+    report.update(overrides)
+    return report
+
+
+class TestFold:
+    def test_unit_fold_covers_oracle_solver_search(self):
+        reg = MetricsRegistry()
+        fold_unit_report(reg, _unit_report())
+        snap = reg.snapshot()
+        te = '{"domain":"te"}'
+        assert snap["xplain_oracle_points_total"]["samples"][te] == 100
+        assert snap["xplain_oracle_cache_hits_total"]["samples"][te] == 30
+        assert snap["xplain_lp_warm_solves_total"]["samples"][te] == 60
+        assert snap["xplain_lp_iterations_total"]["samples"][te] == 420
+        assert snap["xplain_search_oracle_calls_total"]["samples"][
+            '{"domain":"te","policy":"bandit"}'
+        ] == 40
+        assert snap["xplain_subspaces_found_total"]["samples"][te] == 2
+        assert snap["xplain_units_completed_total"]["samples"][
+            '{"domain":"te","resumed":"false"}'
+        ] == 1
+        assert snap["xplain_unit_runtime_seconds"]["samples"][""]["count"] == 1
+
+    def test_resumed_units_fold_no_work_counters(self):
+        reg = MetricsRegistry()
+        fold_unit_report(
+            reg, _unit_report(timing={"runtime_seconds": 1.0, "resumed": True})
+        )
+        snap = reg.snapshot()
+        assert snap["xplain_units_completed_total"]["samples"][
+            '{"domain":"te","resumed":"true"}'
+        ] == 1
+        # the oracle work was folded by whoever computed it originally
+        assert "xplain_oracle_points_total" not in snap
+        assert "xplain_unit_runtime_seconds" not in snap
+
+    def test_non_registry_factory_labels_custom(self):
+        reg = MetricsRegistry()
+        fold_unit_report(
+            reg,
+            _unit_report(problem={"factory": "mypkg:thing", "kwargs": {}}),
+        )
+        assert '{"domain":"custom","resumed":"false"}' in (
+            reg.snapshot()["xplain_units_completed_total"]["samples"]
+        )
+
+    def test_campaign_fold(self):
+        reg = MetricsRegistry()
+        fold_campaign_report(reg, {"worst_gap": 0.75})
+        snap = reg.snapshot()
+        assert snap["xplain_campaigns_completed_total"]["samples"][""] == 1
+        assert snap["xplain_last_campaign_worst_gap"]["samples"][""] == 0.75

@@ -161,12 +161,17 @@ class TestServiceCore:
 
 class TestHttpApi:
     def test_healthz_and_version(self, server):
-        status, health = _get(server, "/healthz")
-        assert status == 200
-        assert health == {"status": "ok", "worker_alive": True}
-        status, version = _get(server, "/version")
         import repro
 
+        status, health = _get(server, "/healthz")
+        assert status == 200
+        assert health["status"] == "ok"
+        assert health["worker_alive"] is True
+        assert health["version"] == repro.__version__
+        assert health["executor"] == "local"
+        assert health["store"] == "ok"
+        assert health["uptime_seconds"] >= 0
+        status, version = _get(server, "/version")
         assert (status, version) == (200, {"version": repro.__version__})
 
     def test_domains_endpoint_mirrors_registry(self, server):
